@@ -1,0 +1,48 @@
+"""Shared plumbing for the figure benchmarks.
+
+Every benchmark regenerates one table/figure of the paper on the
+simulator, asserts the paper's *qualitative* claims (orderings,
+crossovers, scaling behaviour — the reproduction criteria from
+DESIGN.md §4), and archives the measured medians as a Markdown table
+under ``benchmarks/results/`` (the source of EXPERIMENTS.md's
+"measured" columns).
+
+Environment knobs:
+
+* ``REPRO_BENCH_REPS`` — iterations per point (default 20; the paper
+  used 20-30);
+* ``REPRO_BENCH_SEED`` — RNG seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.bench import markdown_table, run_figure, table
+
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "20"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_archive(figure_id: str, **kwargs):
+    """Run a figure, save its Markdown table, return (series, notes)."""
+    series, notes = run_figure(figure_id, reps=REPS, seed=SEED, **kwargs)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    md = [f"# {figure_id}", "", f"_expectation_: {notes}", "",
+          markdown_table(series, title=f"{figure_id} median latency (us)")]
+    (RESULTS_DIR / f"{figure_id}.md").write_text("\n".join(md))
+    print()
+    print(table(series, title=f"{figure_id} (reps={REPS}, seed={SEED})"))
+    return series, notes
+
+
+def by_label(series_list, needle: str):
+    """First series whose label contains ``needle`` (must exist)."""
+    for ser in series_list:
+        if needle in ser.label:
+            return ser
+    raise KeyError(f"no series labelled like {needle!r}: "
+                   f"{[s.label for s in series_list]}")

@@ -1,0 +1,41 @@
+"""Paper Fig. 7 — MPI_Bcast, 4 processes, Fast Ethernet **hub**.
+
+Claims under test:
+* multicast (both sync variants) beats MPICH for messages ≳ 1 frame;
+* for small messages the scout overhead makes multicast slower;
+* MPICH's cost grows ~(N-1) payload copies; multicast's grows ~1 copy.
+"""
+
+from _common import REPS, by_label, run_and_archive
+
+from repro.bench import crossover
+
+
+def _run():
+    return run_and_archive("fig7")
+
+
+def test_fig07_bcast_4procs_hub(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich = by_label(series, "mpich")
+    linear = by_label(series, "linear")
+    binary = by_label(series, "binary")
+
+    # Small messages: scout cost makes multicast slower (or equal).
+    assert mpich.median(0) < binary.median(0)
+    assert mpich.median(0) < linear.median(0)
+
+    # Large messages: multicast wins decisively.
+    for impl in (linear, binary):
+        assert impl.median(5000) < 0.75 * mpich.median(5000)
+
+    # The crossover falls in the paper's "about one Ethernet frame" zone.
+    for impl in (linear, binary):
+        x = crossover(impl, mpich)
+        assert x is not None and 0 < x <= 2000, f"crossover at {x}"
+
+    # MPICH's slope (µs growth over the sweep) far exceeds multicast's:
+    # it sends N-1 = 3 copies of every extra byte.
+    mpich_slope = mpich.median(5000) - mpich.median(0)
+    binary_slope = binary.median(5000) - binary.median(0)
+    assert mpich_slope > 2.0 * binary_slope

@@ -1,0 +1,27 @@
+"""Paper Fig. 8 — MPI_Bcast, 4 processes, Fast Ethernet **switch**.
+
+Same three curves as Fig. 7 but over the store-and-forward switch:
+multicast still wins above the crossover, MPICH still wins below it.
+"""
+
+from _common import by_label, run_and_archive
+
+from repro.bench import crossover
+
+
+def _run():
+    return run_and_archive("fig8")
+
+
+def test_fig08_bcast_4procs_switch(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich = by_label(series, "mpich")
+    linear = by_label(series, "linear")
+    binary = by_label(series, "binary")
+
+    assert mpich.median(0) < binary.median(0)
+
+    for impl in (linear, binary):
+        assert impl.median(5000) < 0.8 * mpich.median(5000)
+        x = crossover(impl, mpich)
+        assert x is not None and x <= 2000, f"crossover at {x}"

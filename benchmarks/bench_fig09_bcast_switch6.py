@@ -1,0 +1,31 @@
+"""Paper Fig. 9 — MPI_Bcast, 6 processes, switch.
+
+Additional claim at 6 nodes: the binary algorithm shows *extra variance*
+because two inner tree nodes race to deliver their scouts to rank 0 at
+nearly the same time (the paper's explanation of Fig. 9's scatter).  In
+our reproduction that race is visible as spread in the binary series.
+"""
+
+from _common import by_label, run_and_archive
+
+from repro.bench import crossover
+
+
+def _run():
+    return run_and_archive("fig9")
+
+
+def test_fig09_bcast_6procs_switch(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich = by_label(series, "mpich")
+    linear = by_label(series, "linear")
+    binary = by_label(series, "binary")
+
+    for impl in (linear, binary):
+        assert impl.median(5000) < 0.7 * mpich.median(5000)
+        x = crossover(impl, mpich)
+        assert x is not None and x <= 1500, f"crossover at {x}"
+
+    # The multicast advantage at 6 procs exceeds the 4-proc one: MPICH
+    # pays 5 copies here.
+    assert mpich.median(5000) / binary.median(5000) > 1.6

@@ -1,0 +1,32 @@
+"""Paper Fig. 10 — MPI_Bcast, 9 processes, switch (the full cluster).
+
+At nine processes the gap is widest: MPICH serializes 8 payload copies,
+multicast still sends one.  The binary sync now beats the linear sync
+(4 scout steps vs 8 sequential root receives), the ordering the paper
+anticipated from its step-count analysis.
+"""
+
+from _common import by_label, run_and_archive
+
+from repro.bench import crossover
+
+
+def _run():
+    return run_and_archive("fig10")
+
+
+def test_fig10_bcast_9procs_switch(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich = by_label(series, "mpich")
+    linear = by_label(series, "linear")
+    binary = by_label(series, "binary")
+
+    for impl in (linear, binary):
+        assert impl.median(5000) < 0.55 * mpich.median(5000)
+        x = crossover(impl, mpich)
+        assert x is not None and x <= 1000, f"crossover at {x}"
+
+    # Binary's log-depth sync beats linear's N-1 sequential receives at
+    # every size once N is this large.
+    for size in binary.sizes:
+        assert binary.median(size) <= linear.median(size) * 1.05

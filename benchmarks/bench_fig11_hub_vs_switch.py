@@ -1,0 +1,44 @@
+"""Paper Fig. 11 — hub vs switch, 4 processes, MPICH vs mcast-binary.
+
+Claims under test:
+* with multicast, the **hub beats the switch at every size** — a hub
+  repeats bits with no store-and-forward penalty, and multicast adds no
+  extra load for the shared wire to serialize;
+* with MPICH, the hub wins for small messages but loses once its single
+  collision domain must serialize every copy of a large message, while
+  the switch forwards copies on parallel port pairs.  (Paper: crossover
+  ≈ 3000 B; our reproduction converges near the top of the 5 kB sweep —
+  recorded as a quantitative deviation in EXPERIMENTS.md.)
+"""
+
+from _common import by_label, run_and_archive
+
+
+def _run():
+    return run_and_archive("fig11")
+
+
+def test_fig11_hub_vs_switch(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich_hub = by_label(series, "mpich/hub")
+    mpich_sw = by_label(series, "mpich/switch")
+    mcast_sw = by_label(series, "mcast binary/switch")
+    mcast_hub = by_label(series, "mcast binary/hub")
+
+    # Multicast: hub strictly better than switch at every size.
+    for size in mcast_hub.sizes:
+        assert mcast_hub.median(size) < mcast_sw.median(size)
+
+    # MPICH: hub clearly better at small sizes ...
+    assert mpich_hub.median(0) < mpich_sw.median(0)
+    assert mpich_hub.median(1000) < mpich_sw.median(1000)
+    # ... but the advantage shrinks monotonically toward the crossover:
+    gap_small = mpich_sw.median(500) - mpich_hub.median(500)
+    gap_large = mpich_sw.median(5000) - mpich_hub.median(5000)
+    assert gap_large < 0.4 * gap_small
+
+    # Multicast-over-hub is the best configuration overall for any
+    # size ≥ one frame (the paper's headline for this figure).
+    for size in (1500, 3000, 5000):
+        others = (mpich_hub, mpich_sw, mcast_sw)
+        assert all(mcast_hub.median(size) < o.median(size) for o in others)

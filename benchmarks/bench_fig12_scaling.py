@@ -1,0 +1,37 @@
+"""Paper Fig. 12 — scaling with 3/6/9 processes over the switch.
+
+Claim under test: "With the linear implementation, the extra cost for
+additional processes is nearly constant with respect to message size.
+This is not true for MPICH."  I.e. the 9-proc/3-proc latency *gap* is
+flat in message size for the linear multicast (more scouts, same single
+payload) but grows steeply for MPICH (more payload copies per byte).
+"""
+
+from _common import by_label, run_and_archive
+
+
+def _run():
+    return run_and_archive("fig12")
+
+
+def test_fig12_scaling_3_6_9(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich3 = by_label(series, "mpich (3 proc)")
+    mpich9 = by_label(series, "mpich (9 proc)")
+    lin3 = by_label(series, "linear (3 proc)")
+    lin9 = by_label(series, "linear (9 proc)")
+
+    # Per-process extra cost of the linear multicast: constant in size.
+    lin_gap_small = lin9.median(0) - lin3.median(0)
+    lin_gap_large = lin9.median(5000) - lin3.median(5000)
+    assert lin_gap_small > 0
+    assert 0.5 < lin_gap_large / lin_gap_small < 1.5   # ~flat
+
+    # MPICH's per-process extra cost grows strongly with size.
+    mp_gap_small = mpich9.median(0) - mpich3.median(0)
+    mp_gap_large = mpich9.median(5000) - mpich3.median(5000)
+    assert mp_gap_large > 2.5 * mp_gap_small
+
+    # Linear scales better than MPICH at 9 procs for every size ≥ 500 B.
+    for size in (500, 1000, 2500, 5000):
+        assert lin9.median(size) < mpich9.median(size)

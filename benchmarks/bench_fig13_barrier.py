@@ -1,0 +1,35 @@
+"""Paper Fig. 13 — MPI_Barrier over the hub, 2-9 processes.
+
+Claims under test: the multicast barrier (binary scout reduction + one
+empty multicast release) beats the 3-phase MPICH barrier on average,
+and the gap grows with the number of processes.  (x-axis = process
+count; stored under the series' "size" key.)
+"""
+
+from _common import by_label, run_and_archive
+
+
+def _run():
+    return run_and_archive("fig13")
+
+
+def test_fig13_barrier_hub(benchmark):
+    series, _notes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mpich = by_label(series, "MPICH")
+    mcast = by_label(series, "multicast")
+
+    # Multicast wins at every process count from 3 up (2 is a near-tie:
+    # one sendrecv vs scout+release — recorded in EXPERIMENTS.md).
+    for n in range(3, 10):
+        assert mcast.median(n) < mpich.median(n), f"n={n}"
+    assert mcast.median(2) < mpich.median(2) * 1.35
+
+    # The absolute gap grows with the process count.
+    gap_small = mpich.median(3) - mcast.median(3)
+    gap_large = mpich.median(9) - mcast.median(9)
+    assert gap_large > gap_small
+
+    # Multicast barrier scales ~logarithmically: going 4 -> 8 procs adds
+    # one scout level, far less than MPICH's added phases/messages.
+    assert (mcast.median(8) - mcast.median(4)) < \
+        (mpich.median(8) - mpich.median(4)) + 120.0

@@ -1,0 +1,73 @@
+"""Paper §3's frame/message-count table, regenerated and verified.
+
+Unlike the latency figures this is exact: the closed-form counts
+(paper formulas and the header-aware model) must equal the simulator's
+frame counters to the frame.
+"""
+
+from _common import run_and_archive  # noqa: F401  (kept for parity)
+
+import pathlib
+
+from repro.analysis import (model_mcast_bcast_frames,
+                            model_mpich_bcast_frames,
+                            paper_mcast_bcast_frames,
+                            paper_mpich_barrier_messages,
+                            paper_mpich_bcast_frames)
+from repro.bench import run_figure
+from repro.runtime import run_spmd
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def _measure_bcast_frames(impl: str, n: int, m: int) -> dict:
+    marks = {}
+
+    def main(env):
+        obj = bytes(m) if env.rank == 0 else None
+        yield env.sim.timeout(max(0.0, 50_000.0 - env.sim.now))
+        if env.rank == 0:
+            marks["before"] = env.host.stats.snapshot()
+        yield from env.comm.bcast(obj, root=0)
+
+    result = run_spmd(n, main, params=QUIET,
+                      collectives={"bcast": impl})
+    kb = marks["before"]["frames_by_kind"]
+    ka = result.stats["frames_by_kind"]
+    return {k: ka.get(k, 0) - kb.get(k, 0) for k in set(ka) | set(kb)}
+
+
+def _run():
+    rows, _notes = run_figure("framecounts")
+    lines = ["# framecounts", "",
+             "| " + " | ".join(rows[0].keys()) + " |",
+             "|" + "|".join(["---"] * len(rows[0])) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row.values()) + " |")
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "framecounts.md").write_text("\n".join(lines))
+    return rows
+
+
+def test_framecount_table(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert len(rows) == 8 * 4     # n in 2..9, four sizes
+
+    # Spot-verify the model columns against live simulation counters.
+    for (n, m) in [(4, 0), (7, 5000), (9, 3000)]:
+        mpich = _measure_bcast_frames("p2p-binomial", n, m)
+        assert mpich.get("p2p", 0) == model_mpich_bcast_frames(QUIET, n, m)
+
+        mcast = _measure_bcast_frames("mcast-binary", n, m)
+        scouts, data = model_mcast_bcast_frames(QUIET, n, m)
+        assert mcast.get("scout", 0) == scouts
+        assert mcast.get("mcast-data", 0) == data
+
+    # And the paper's idealized formulas track the model asymptotically:
+    # same (N-1) multiplier, off only by protocol headers.
+    assert paper_mpich_bcast_frames(9, 0) == 8
+    assert paper_mcast_bcast_frames(9, 0) == 9
+    assert paper_mpich_barrier_messages(9) == 26

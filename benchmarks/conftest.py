@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable (for ``_common``)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's protocols on REAL sockets: UDP multicast over loopback.
+
+Runs five rank-threads wired through a genuine 239.x.y.z multicast
+group, broadcasts with both scout algorithms and the binomial baseline,
+runs both barrier flavours, and finishes with a small allreduce — all on
+the actual kernel network stack rather than the simulator.
+
+Skips politely when the environment forbids loopback multicast.
+
+Run:  python examples/real_multicast.py
+"""
+
+import sys
+import time
+
+from repro.sockets import multicast_available, run_threads
+
+
+def program(comm):
+    results = {}
+
+    # broadcast, all implementations
+    for impl in ("binary", "linear", "p2p", "ack"):
+        payload = {"impl": impl, "blob": b"x" * 2000} \
+            if comm.rank == 0 else None
+        t0 = time.perf_counter()
+        data = comm.bcast(payload, root=0, impl=impl)
+        results[f"bcast-{impl}"] = (data["impl"],
+                                    (time.perf_counter() - t0) * 1e6)
+
+    # barrier, both implementations
+    for impl in ("mcast", "p2p"):
+        t0 = time.perf_counter()
+        comm.barrier(impl=impl)
+        results[f"barrier-{impl}"] = (time.perf_counter() - t0) * 1e6
+
+    # allreduce over the binomial tree + multicast broadcast
+    results["allreduce"] = comm.allreduce(comm.rank + 1,
+                                          lambda a, b: a + b)
+    return results
+
+
+def main() -> int:
+    if not multicast_available():
+        print("loopback UDP multicast unavailable here - skipping demo")
+        return 0
+    n = 5
+    print(f"running {n} rank-threads over a real 239.x multicast group\n")
+    all_results = run_threads(n, program)
+
+    print("rank 0 view (wall-clock times are loopback+threads, i.e. NOT")
+    print("the paper's performance story - see the simulator for that):")
+    for key, value in all_results[0].items():
+        print(f"  {key:>16}: {value}")
+
+    total = n * (n + 1) // 2
+    assert all(r["allreduce"] == total for r in all_results)
+    assert all(r["bcast-binary"][0] == "binary" for r in all_results)
+    print(f"\nall {n} ranks agree: allreduce(1..{n}) = {total}")
+    print("protocol logic validated against the real network stack")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

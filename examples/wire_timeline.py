@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Watch the algorithms on the wire.
+
+Records every frame transmission during one 4 kB broadcast to 7
+processes and draws a Gantt strip per frame kind, for the MPICH binomial
+tree and for the binary-scout multicast.  The paper's Fig. 2 vs Fig. 3
+contrast — many payload copies vs a scout wave followed by ONE payload —
+appears directly in the wire occupancy.
+
+Run:  python examples/wire_timeline.py
+"""
+
+from repro.bench.timeline import ascii_timeline, record_timeline
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_HUB
+
+SIZE = 4000
+PROCS = 7
+QUIESCE = 50_000.0
+
+
+def one_bcast(env):
+    obj = bytes(SIZE) if env.rank == 0 else None
+    # idle until a common tick so MPI-init traffic is out of the picture
+    yield env.sim.timeout(max(0.0, QUIESCE - env.sim.now))
+    obj = yield from env.comm.bcast(obj, root=0)
+    return len(obj)
+
+
+def main() -> None:
+    for impl, label in (("p2p-binomial", "MPICH binomial tree"),
+                        ("mcast-binary", "binary-scout multicast")):
+        events = record_timeline(
+            PROCS, one_bcast, topology="hub",
+            params=quiet(FAST_ETHERNET_HUB),
+            collectives={"bcast": impl},
+            skip_before_us=QUIESCE)
+        data_frames = sum(1 for e in events
+                          if e.kind in ("p2p", "mcast-data"))
+        print(ascii_timeline(
+            events, width=70,
+            title=f"{label}: bcast {SIZE} B to {PROCS} procs "
+                  f"({data_frames} payload-carrying frames)"))
+        print()
+    print("same payload, same receivers: the multicast wire goes quiet")
+    print("after one copy; MPICH keeps serializing copies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Closed-form frame/message counts (paper §3) and their exact
+header-aware counterparts.
+
+The paper states costs with the idealized ``floor(M/T)+1`` fragment model
+(M = message bytes, T = frame capacity).  Our stack additionally carries
+protocol headers (the MPI envelope on p2p messages; the 8-byte multicast
+envelope), so this module offers both:
+
+* ``paper_*``  — the formulas exactly as printed, for documentation and
+  asymptotic checks;
+* ``model_*``  — header-aware counts that must match the simulator's
+  frame counters *exactly* (asserted in tests and the frame-count bench).
+"""
+
+from __future__ import annotations
+
+from ..core.channel import MCAST_HEADER_BYTES, SCOUT_BYTES
+from ..mpi.collective.barrier_p2p import largest_power_of_two_leq
+from ..simnet.calibration import NetParams
+
+__all__ = [
+    "paper_frames_per_message", "paper_mpich_bcast_frames",
+    "paper_mcast_bcast_frames", "paper_mpich_barrier_messages",
+    "paper_mcast_barrier_messages", "model_mpich_bcast_frames",
+    "model_mcast_bcast_frames", "mcast_bcast_total_frames",
+]
+
+
+def paper_frames_per_message(m: int, t: int = 1500) -> int:
+    """The paper's ``floor(M/T) + 1`` frames for an M-byte message."""
+    if m < 0:
+        raise ValueError(f"message size must be >= 0, got {m}")
+    if t <= 0:
+        raise ValueError(f"frame size must be > 0, got {t}")
+    return m // t + 1
+
+
+def paper_mpich_bcast_frames(n: int, m: int, t: int = 1500) -> int:
+    """MPICH broadcast: ``(floor(M/T)+1) * (N-1)`` network frames."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return paper_frames_per_message(m, t) * (n - 1)
+
+
+def paper_mcast_bcast_frames(n: int, m: int, t: int = 1500) -> int:
+    """Multicast broadcast: ``(N-1)`` scouts ``+ floor(M/T)+1`` data."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 0
+    return (n - 1) + paper_frames_per_message(m, t)
+
+
+def paper_mpich_barrier_messages(n: int) -> int:
+    """``2(N-K) + K log2 K`` point-to-point messages (paper §3.2)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = largest_power_of_two_leq(n)
+    return 2 * (n - k) + k * (k.bit_length() - 1)
+
+
+def paper_mcast_barrier_messages(n: int) -> tuple[int, int]:
+    """``(N-1)`` unicast scouts + one multicast release."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return (0, 0)
+    return (n - 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# header-aware counts that match the simulator exactly
+# ---------------------------------------------------------------------------
+def model_mpich_bcast_frames(params: NetParams, n: int, m: int) -> int:
+    """Exact frames for the binomial broadcast over our p2p engine."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return params.frames_for(m + params.mpi_header) * (n - 1)
+
+
+def model_mcast_bcast_frames(params: NetParams, n: int,
+                             m: int) -> tuple[int, int]:
+    """Exact (scout, data) frames for the scouted multicast broadcast."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return (0, 0)
+    scouts = n - 1
+    data = params.frames_for(m + MCAST_HEADER_BYTES)
+    return (scouts, data)
+
+
+def mcast_bcast_total_frames(params: NetParams, n: int, m: int) -> int:
+    scouts, data = model_mcast_bcast_frames(params, n, m)
+    return scouts + data

@@ -1,0 +1,14 @@
+"""``repro.bench`` — the harness that regenerates every paper figure."""
+
+from .figures import (FIGURES, MCAST_BINARY, MCAST_LINEAR, MPICH,
+                      PAPER_SIZES, run_figure)
+from .harness import Sample, Series, measure_barrier, measure_bcast
+from .report import (ascii_plot, crossover, markdown_table, series_summary,
+                     table)
+
+__all__ = [
+    "FIGURES", "MCAST_BINARY", "MCAST_LINEAR", "MPICH", "PAPER_SIZES",
+    "Sample", "Series", "ascii_plot", "crossover", "markdown_table",
+    "measure_barrier", "measure_bcast", "run_figure", "series_summary",
+    "table",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point: ``repro-bench --figure fig7``.
+
+Regenerates any of the paper's figures as a latency table plus an ASCII
+plot, or dumps the frame-count table.  ``--all`` iterates everything
+(this is how EXPERIMENTS.md's measured columns were produced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import FIGURES, run_figure
+from .report import ascii_plot, crossover, markdown_table, table
+
+__all__ = ["main"]
+
+
+def _render_figure(figure_id: str, reps: int, seed: int,
+                   markdown: bool) -> str:
+    out = []
+    if figure_id == "framecounts":
+        rows, notes = run_figure(figure_id)
+        cols = list(rows[0].keys())
+        out.append(f"== {figure_id}: {notes}")
+        out.append(" | ".join(c.rjust(18) for c in cols))
+        for row in rows:
+            out.append(" | ".join(str(row[c]).rjust(18) for c in cols))
+        return "\n".join(out)
+
+    series, notes = run_figure(figure_id, reps=reps, seed=seed)
+    out.append(f"== {figure_id} ==")
+    out.append(f"expectation: {notes}")
+    out.append("")
+    render = markdown_table if markdown else table
+    out.append(render(series, title=f"{figure_id}: median latency (us)"))
+    out.append("")
+    if not markdown:
+        out.append(ascii_plot(series, title=f"{figure_id} medians"))
+    # Crossovers of every multicast series against the first MPICH series.
+    mpich = next((s for s in series if "mpich" in s.label), None)
+    if mpich is not None:
+        for ser in series:
+            if ser is mpich or "mpich" in ser.label:
+                continue
+            x = crossover(ser, mpich)
+            out.append(f"crossover {ser.label} vs {mpich.label}: "
+                       f"{x if x is not None else 'never in range'}")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate figures from 'MPI Collective Operations "
+                    "over IP Multicast' (IPPS 2000) on the simulator.")
+    parser.add_argument("--figure", choices=sorted(FIGURES),
+                        help="which figure/table to regenerate")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every figure")
+    parser.add_argument("--reps", type=int, default=25,
+                        help="iterations per point (paper used 20-30)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit Markdown tables (for EXPERIMENTS.md)")
+    args = parser.parse_args(argv)
+
+    if not args.figure and not args.all:
+        parser.error("pass --figure <id> or --all")
+
+    targets = sorted(FIGURES) if args.all else [args.figure]
+    for figure_id in targets:
+        print(_render_figure(figure_id, args.reps, args.seed,
+                             args.markdown))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Experiment definitions — one per table/figure of the paper.
+
+Each figure function runs the full measurement for that figure and
+returns ``(series_list, notes)``; ``check_*`` helpers assert the paper's
+qualitative claims (who wins, where the crossover falls), which is what
+"reproduction" means here — absolute µs belong to the authors' testbed,
+shapes belong to the algorithms.
+
+Registry: :data:`FIGURES` maps figure ids ("fig7" ... "fig13",
+"framecounts", "ablation") to runner callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..analysis.framecount import (model_mcast_bcast_frames,
+                                   model_mpich_bcast_frames,
+                                   paper_mcast_bcast_frames,
+                                   paper_mpich_barrier_messages,
+                                   paper_mpich_bcast_frames)
+from ..simnet.calibration import (FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH)
+from .harness import Series, measure_barrier, measure_bcast
+
+__all__ = ["FIGURES", "PAPER_SIZES", "run_figure", "MPICH", "MCAST_BINARY",
+           "MCAST_LINEAR"]
+
+#: the paper sweeps message sizes 0..5000 bytes
+PAPER_SIZES = [0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000]
+
+MPICH = "p2p-binomial"
+MCAST_BINARY = "mcast-binary"
+MCAST_LINEAR = "mcast-linear"
+
+
+def _bcast_triplet(topology: str, nprocs: int, sizes, reps, seed):
+    """The three curves of Figs. 7-10: MPICH, mcast linear, mcast binary."""
+    common = dict(topology=topology, nprocs=nprocs, sizes=list(sizes),
+                  reps=reps)
+    return [
+        measure_bcast(MPICH, seed=seed, label=f"mpich/{topology}",
+                      **common),
+        measure_bcast(MCAST_LINEAR, seed=seed + 1,
+                      label=f"mcast linear/{topology}", **common),
+        measure_bcast(MCAST_BINARY, seed=seed + 2,
+                      label=f"mcast binary/{topology}", **common),
+    ]
+
+
+def fig7(reps: int = 25, seed: int = 0, sizes=None):
+    """MPI_Bcast, 4 processes, Fast Ethernet **hub** (paper Fig. 7)."""
+    series = _bcast_triplet("hub", 4, sizes or PAPER_SIZES, reps, seed)
+    notes = ("paper: multicast (both variants) beats MPICH above ~1000 B; "
+             "below that, scout cost makes multicast slower; MPICH shows "
+             "the largest collision-driven variance")
+    return series, notes
+
+
+def fig8(reps: int = 25, seed: int = 0, sizes=None):
+    """MPI_Bcast, 4 processes, Fast Ethernet **switch** (paper Fig. 8)."""
+    series = _bcast_triplet("switch", 4, sizes or PAPER_SIZES, reps, seed)
+    notes = "paper: same ordering as the hub with a crossover near 1 kB"
+    return series, notes
+
+
+def fig9(reps: int = 25, seed: int = 0, sizes=None):
+    """MPI_Bcast, 6 processes, switch (paper Fig. 9)."""
+    series = _bcast_triplet("switch", 6, sizes or PAPER_SIZES, reps, seed)
+    notes = ("paper: multicast wins for large messages; binary shows extra "
+             "variance at 6 nodes (two inner nodes race to scout rank 0)")
+    return series, notes
+
+
+def fig10(reps: int = 25, seed: int = 0, sizes=None):
+    """MPI_Bcast, 9 processes, switch (paper Fig. 10)."""
+    series = _bcast_triplet("switch", 9, sizes or PAPER_SIZES, reps, seed)
+    notes = "paper: the multicast advantage widens with process count"
+    return series, notes
+
+
+def fig11(reps: int = 25, seed: int = 0, sizes=None):
+    """Hub vs switch, 4 processes, MPICH vs mcast binary (paper Fig. 11)."""
+    sizes = sizes or PAPER_SIZES
+    series = [
+        measure_bcast(MPICH, "hub", 4, sizes, reps, seed,
+                      label="mpich/hub"),
+        measure_bcast(MPICH, "switch", 4, sizes, reps, seed + 1,
+                      label="mpich/switch"),
+        measure_bcast(MCAST_BINARY, "switch", 4, sizes, reps, seed + 2,
+                      label="mcast binary/switch"),
+        measure_bcast(MCAST_BINARY, "hub", 4, sizes, reps, seed + 3,
+                      label="mcast binary/hub"),
+    ]
+    notes = ("paper: with multicast the hub beats the switch at every "
+             "size (no store-and-forward penalty); with MPICH the hub "
+             "wins only below ~3000 B, after which its shared wire "
+             "saturates and the switch's parallel paths win")
+    return series, notes
+
+
+def fig12(reps: int = 25, seed: int = 0, sizes=None):
+    """Scaling 3/6/9 processes, switch, MPICH vs mcast linear (Fig. 12)."""
+    sizes = sizes or PAPER_SIZES
+    series = []
+    for i, n in enumerate((3, 6, 9)):
+        series.append(measure_bcast(MPICH, "switch", n, sizes, reps,
+                                    seed + i, label=f"mpich ({n} proc)"))
+    for i, n in enumerate((3, 6, 9)):
+        series.append(measure_bcast(MCAST_LINEAR, "switch", n, sizes, reps,
+                                    seed + 3 + i,
+                                    label=f"linear ({n} proc)"))
+    notes = ("paper: the linear multicast's extra cost per process is "
+             "nearly constant w.r.t. message size, unlike MPICH whose "
+             "per-process cost grows with size")
+    return series, notes
+
+
+def fig13(reps: int = 30, seed: int = 0, procs=None):
+    """MPI_Barrier over the hub, 2-9 processes (paper Fig. 13).
+
+    The x-axis is the process count; the series value is stored under
+    size key 0, so we relabel per-n series into two aggregate curves.
+    """
+    procs = procs or list(range(2, 10))
+    mpich = Series(label="MPICH barrier/hub", impl="p2p-mpich",
+                   topology="hub", nprocs=0)
+    mcast = Series(label="multicast barrier/hub", impl="mcast",
+                   topology="hub", nprocs=0)
+    for n in procs:
+        s_mpich = measure_barrier("p2p-mpich", "hub", n, reps=reps,
+                                  seed=seed + n)
+        s_mcast = measure_barrier("mcast", "hub", n, reps=reps,
+                                  seed=seed + 100 + n)
+        for smp in s_mpich.samples:
+            mpich.samples.append(type(smp)(size=n, iteration=smp.iteration,
+                                           latency_us=smp.latency_us))
+        for smp in s_mcast.samples:
+            mcast.samples.append(type(smp)(size=n, iteration=smp.iteration,
+                                           latency_us=smp.latency_us))
+    notes = ("paper: multicast barrier is faster on average at every "
+             "process count, and the gap grows with the count "
+             "(x-axis here = number of processes)")
+    return [mpich, mcast], notes
+
+
+def framecounts(nmax: int = 9, sizes=None):
+    """§3's closed-form frame/message counts as a table (not timed)."""
+    from ..simnet.calibration import FAST_ETHERNET_SWITCH as P
+
+    sizes = sizes or [0, 1500, 3000, 5000]
+    rows = []
+    for n in range(2, nmax + 1):
+        for m in sizes:
+            rows.append({
+                "n": n, "m": m,
+                "paper_mpich_bcast": paper_mpich_bcast_frames(n, m),
+                "paper_mcast_bcast": paper_mcast_bcast_frames(n, m),
+                "model_mpich_bcast": model_mpich_bcast_frames(P, n, m),
+                "model_mcast_bcast": sum(model_mcast_bcast_frames(P, n, m)),
+                "mpich_barrier_msgs": paper_mpich_barrier_messages(n),
+                "mcast_barrier_msgs": n - 1 + 1,
+            })
+    return rows, "frame-count formulas (paper §3) vs header-aware model"
+
+
+def ablation_reliability(reps: int = 15, seed: int = 0, sizes=None):
+    """Scouted sync vs PVM-style ack vs Orca-style sequencer (§2/§5)."""
+    sizes = sizes or [0, 1000, 2000, 4000]
+    series = [
+        measure_bcast("mcast-binary", "switch", 6, sizes, reps, seed,
+                      label="scout binary"),
+        measure_bcast("mcast-linear", "switch", 6, sizes, reps, seed + 1,
+                      label="scout linear"),
+        measure_bcast("mcast-ack", "switch", 6, sizes, reps, seed + 2,
+                      label="ack (PVM-style)"),
+        measure_bcast("mcast-sequencer", "switch", 6, sizes, reps,
+                      seed + 3, label="sequencer (Orca-style)"),
+        measure_bcast(MPICH, "switch", 6, sizes, reps, seed + 4,
+                      label="mpich"),
+    ]
+    notes = ("paper §2: the ack-based PVM approach 'did not produce "
+             "improvement in performance' — the ack implosion erases the "
+             "multicast win; scout sync keeps it")
+    return series, notes
+
+
+FIGURES: dict[str, Callable] = {
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "framecounts": framecounts,
+    "ablation": ablation_reliability,
+}
+
+
+def run_figure(figure_id: str, **kwargs):
+    """Run one experiment by id ("fig7".."fig13", "framecounts", ...)."""
+    try:
+        fn = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(f"unknown figure {figure_id!r}; "
+                       f"known: {sorted(FIGURES)}") from None
+    return fn(**kwargs)

@@ -1,0 +1,125 @@
+"""Rendering and shape-checking of benchmark series.
+
+``table`` prints the same rows the paper's graphs plot (median latency
+per message size per implementation); ``ascii_plot`` sketches the curves
+in a terminal; ``crossover`` finds where one series starts beating
+another — the quantity the paper's Figs. 7–10 discussion revolves around.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional, Sequence
+
+from .harness import Series
+
+__all__ = ["table", "ascii_plot", "crossover", "markdown_table",
+           "series_summary"]
+
+
+def table(series_list: Sequence[Series], title: str = "",
+          xlabel: str = "size (bytes)") -> str:
+    """Fixed-width median table, one column per series."""
+    sizes = sorted({s for ser in series_list for s in ser.sizes})
+    head = [xlabel.rjust(14)] + [ser.label.rjust(24) for ser in series_list]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(head))
+    lines.append("-+-".join("-" * len(h) for h in head))
+    for size in sizes:
+        row = [f"{size:>14d}"]
+        for ser in series_list:
+            try:
+                med = ser.median(size)
+                lo, hi = ser.spread(size)
+                row.append(f"{med:>10.1f} [{lo:>6.0f},{hi:>6.0f}]"[:24]
+                           .rjust(24))
+            except KeyError:
+                row.append(" " * 24)
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def markdown_table(series_list: Sequence[Series], title: str = "",
+                   xlabel: str = "size (bytes)") -> str:
+    """The same medians as a Markdown table (for EXPERIMENTS.md)."""
+    sizes = sorted({s for ser in series_list for s in ser.sizes})
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    header = [xlabel] + [ser.label for ser in series_list]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join(["---"] * len(header)) + "|")
+    for size in sizes:
+        row = [str(size)]
+        for ser in series_list:
+            try:
+                row.append(f"{ser.median(size):.0f}")
+            except KeyError:
+                row.append("")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def crossover(a: Series, b: Series) -> Optional[int]:
+    """Smallest common size where median(a) < median(b), None if never.
+
+    Usage: ``crossover(mcast_series, mpich_series)`` returns where the
+    multicast implementation starts winning.
+    """
+    common = sorted(set(a.sizes) & set(b.sizes))
+    for size in common:
+        if a.median(size) < b.median(size):
+            return size
+    return None
+
+
+def series_summary(ser: Series) -> dict:
+    """Aggregate stats for logging / EXPERIMENTS.md."""
+    meds = ser.medians()
+    all_lats = [s.latency_us for s in ser.samples]
+    return {
+        "label": ser.label,
+        "sizes": ser.sizes,
+        "median_by_size": meds,
+        "overall_min": min(all_lats),
+        "overall_max": max(all_lats),
+        "overall_median": statistics.median(all_lats),
+    }
+
+
+def ascii_plot(series_list: Sequence[Series], width: int = 72,
+               height: int = 20, title: str = "") -> str:
+    """Median-latency curves as ASCII art (size on x, latency on y)."""
+    sizes = sorted({s for ser in series_list for s in ser.sizes})
+    if not sizes:
+        return "(no data)"
+    all_meds = [ser.median(s) for ser in series_list for s in ser.sizes]
+    y_max = max(all_meds) * 1.05
+    y_min = 0.0
+    x_min, x_max = min(sizes), max(sizes)
+    span_x = max(x_max - x_min, 1)
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for idx, ser in enumerate(series_list):
+        mark = marks[idx % len(marks)]
+        for size in ser.sizes:
+            x = int((size - x_min) / span_x * (width - 1))
+            y = int((ser.median(size) - y_min) / (y_max - y_min)
+                    * (height - 1))
+            grid[height - 1 - y][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>8.0f} us ┤" )
+    for row in grid:
+        lines.append("            │" + "".join(row))
+    lines.append("          0 └" + "─" * width)
+    lines.append(f"             {x_min:<10d}"
+                 + f"{x_max:>{max(width - 10, 1)}d} bytes")
+    for idx, ser in enumerate(series_list):
+        lines.append(f"   {marks[idx % len(marks)]} = {ser.label}")
+    return "\n".join(lines)

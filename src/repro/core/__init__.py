@@ -1,0 +1,31 @@
+"""``repro.core`` — the paper's contribution: collectives over IP multicast.
+
+Importing this package registers the multicast implementations
+(``mcast-binary``, ``mcast-linear``, ``mcast-naive``, ``mcast-ack`` for
+bcast; ``mcast`` for barrier; ``mcast-sequencer`` extension) in the
+collective registry, so any communicator can switch to them with
+``comm.use_collectives(bcast="mcast-binary", barrier="mcast")``.
+"""
+
+from .channel import (DATA_PORT_BASE, GROUP_ID_BASE, MCAST_HEADER_BYTES,
+                      SCOUT_BYTES, SCOUT_PORT_BASE, McastChannel)
+from .mcast_allgather import (allgather_mcast_paced,
+                              allgather_mcast_unpaced)
+from .mcast_barrier import barrier_mcast, barrier_mcast_message_count
+from .mcast_bcast import (McastLost, bcast_mcast_ack, bcast_mcast_binary,
+                          bcast_mcast_linear, bcast_mcast_naive)
+from .ordering import (UnsafeScheduleError, check_safe_schedule,
+                       run_bcast_sequence)
+from .scout import (binary_tree_steps, scout_count, scout_gather_binary,
+                    scout_gather_linear)
+from . import sequencer  # noqa: F401  (registers mcast-sequencer)
+
+__all__ = [
+    "DATA_PORT_BASE", "GROUP_ID_BASE", "MCAST_HEADER_BYTES", "McastChannel",
+    "McastLost", "SCOUT_BYTES", "SCOUT_PORT_BASE", "UnsafeScheduleError",
+    "allgather_mcast_paced", "allgather_mcast_unpaced", "barrier_mcast",
+    "barrier_mcast_message_count", "bcast_mcast_ack", "bcast_mcast_binary",
+    "bcast_mcast_linear", "bcast_mcast_naive", "binary_tree_steps",
+    "check_safe_schedule", "run_bcast_sequence", "scout_count",
+    "scout_gather_binary", "scout_gather_linear",
+]

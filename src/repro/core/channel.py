@@ -1,0 +1,166 @@
+"""The per-communicator multicast channel.
+
+Binds an MPI communicator to one IP multicast group (paper §4: one group
+per process group / context) plus two sockets on every member host:
+
+* the **data socket** — joined to the group, ``posted_only``: a multicast
+  datagram is delivered only if the receive was already posted, the
+  paper's readiness model.  ``IP_MULTICAST_LOOP`` is off so the root does
+  not consume its own broadcast;
+* the **scout socket** — an ordinary buffered UDP socket carrying the
+  small synchronization messages (scouts, barrier-release acks, PVM-style
+  acks).  Scouts are matched by ``(source rank, sequence, phase)`` with a
+  stash for early arrivals from ranks that have raced ahead.
+
+Every collective call advances the channel's **sequence number**; because
+MPI code must be *safe* (all ranks issue collectives on a communicator in
+the same order — paper §4), sequence numbers advance identically
+everywhere and stale traffic is detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..simnet.frame import mcast_mac
+from ..simnet.kernel import Event
+
+__all__ = ["McastChannel", "GROUP_ID_BASE", "DATA_PORT_BASE",
+           "SCOUT_PORT_BASE", "SCOUT_BYTES", "MCAST_HEADER_BYTES"]
+
+#: multicast group-id space reserved for communicators (above the
+#: cluster-level GroupAllocator's small ids)
+GROUP_ID_BASE = 1 << 16
+
+DATA_PORT_BASE = 20000
+SCOUT_PORT_BASE = 40000
+
+#: wire payload of a scout message ("no data": just rank+seq encoding)
+SCOUT_BYTES = 4
+
+#: envelope bytes prepended to multicast data (root, seq)
+MCAST_HEADER_BYTES = 8
+
+
+class McastChannel:
+    """Multicast transport for one communicator, on one rank."""
+
+    def __init__(self, comm):
+        self.comm = comm
+        self.host = comm.host
+        self.sim = comm.sim
+        self.params = self.host.params
+        self.group = mcast_mac(GROUP_ID_BASE + comm.ctx)
+        self.data_port = DATA_PORT_BASE + comm.ctx
+        self.scout_port = SCOUT_PORT_BASE + comm.ctx
+        self.data_sock = self.host.socket(self.data_port, posted_only=True,
+                                          mcast_loop=False)
+        self.scout_sock = self.host.socket(self.scout_port)
+        self.data_sock.join(self.group)
+        self.seq = 0
+        self._scout_stash: list[tuple[int, int, str]] = []
+        #: naive-bcast receive timeout (None = block, may deadlock — that
+        #: is the point of the naive baseline); tests/benches set this.
+        self.naive_timeout_us: Optional[float] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        """Advance the collective sequence (call once per collective)."""
+        self.seq += 1
+        return self.seq
+
+    # -- scouts ----------------------------------------------------------
+    def send_scout(self, dst_rank: int, seq: int,
+                   phase: str = "up") -> Generator:
+        """Send one scout/ack to ``dst_rank`` (UDP unicast, tiny)."""
+        yield from self.scout_sock.sendto(
+            (self.comm.rank, seq, phase), SCOUT_BYTES,
+            self.comm.addr_of(dst_rank), self.scout_port, kind="scout")
+
+    def wait_scouts(self, src_ranks: set[int], seq: int,
+                    phase: str = "up",
+                    timeout_us: Optional[float] = None) -> Generator:
+        """Collect scouts ``(src, seq, phase)`` from every rank in
+        ``src_ranks``; returns the set of ranks still missing (empty on
+        success, non-empty only if ``timeout_us`` expired).
+
+        Early scouts for other (seq, phase) pairs are stashed, never lost.
+        """
+        remaining = set(src_ranks)
+        self._drain_stash(remaining, seq, phase)
+        deadline = (None if timeout_us is None
+                    else self.sim.now + timeout_us)
+        while remaining:
+            budget = None
+            if deadline is not None:
+                budget = deadline - self.sim.now
+                if budget <= 0:
+                    return remaining
+            dgram = yield from self.scout_sock.recv(timeout=budget)
+            if dgram is None:
+                return remaining
+            src, s, ph = dgram.payload
+            if s == seq and ph == phase and src in remaining:
+                remaining.discard(src)
+            else:
+                self._scout_stash.append((src, s, ph))
+        return remaining
+
+    def _drain_stash(self, remaining: set[int], seq: int,
+                     phase: str) -> None:
+        keep = []
+        for (src, s, ph) in self._scout_stash:
+            if s == seq and ph == phase and src in remaining:
+                remaining.discard(src)
+            else:
+                keep.append((src, s, ph))
+        self._scout_stash = keep
+
+    # -- multicast data ----------------------------------------------------
+    def post_data(self) -> Event:
+        """Post the multicast receive — MUST precede the scout send."""
+        return self.data_sock.post_recv()
+
+    def wait_data(self, posted: Event) -> Generator:
+        """Complete a posted receive: returns ``(root, seq, payload)``.
+
+        Charges the UDP receive cost plus ``mcast_recv_extra_us`` (group
+        receive validation / posted-descriptor handling) on the host CPU.
+        """
+        dgram = yield posted
+        cost = self.data_sock.recv_cost_us
+        if dgram.kind == "mcast-data":
+            # The extra models payload validation + user-buffer delivery;
+            # control multicasts (the barrier release) skip it.
+            cost += self.params.mcast_recv_extra_us
+        yield from self.host.cpu.use(self.host.jitter(cost))
+        root, seq, payload = dgram.payload
+        return root, seq, payload
+
+    def send_data(self, payload: Any, nbytes: int, seq: int,
+                  retransmit: bool = False,
+                  control: bool = False) -> Generator:
+        """Multicast ``payload`` to the whole group in one send.
+
+        ``control=True`` marks data-less protocol multicasts (the barrier
+        release): they skip the payload-handling extras and are traced as
+        ``mcast-release`` frames.
+        """
+        if retransmit:
+            self.host.stats.retransmissions += 1
+        if not control and self.params.mcast_send_extra_us > 0:
+            yield from self.host.cpu.use(
+                self.host.jitter(self.params.mcast_send_extra_us))
+        yield from self.data_sock.sendto(
+            (self.comm.rank, seq, payload), nbytes + MCAST_HEADER_BYTES,
+            self.group, self.data_port,
+            kind="mcast-release" if control else "mcast-data")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.data_sock.close()
+        self.scout_sock.close()

@@ -1,0 +1,55 @@
+"""MPI_Barrier over IP multicast — the paper's §3.2.
+
+The three MPICH phases collapse to one gather plus one multicast:
+
+1. scouts reduce to rank 0 up the binary tree (``N-1`` point-to-point
+   messages, ``ceil(log2 N)`` steps);
+2. rank 0 releases everyone with a **single data-less multicast**.
+
+Every rank posts its release receive *before* sending its scout up, so
+the release multicast cannot outrun a receiver — the same invariant as
+the broadcast.  Message count: ``N-1`` unicasts + 1 multicast, versus
+MPICH's ``2(N-K) + K log2 K``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..mpi.collective.registry import register
+from .scout import scout_gather_binary
+
+__all__ = ["barrier_mcast", "barrier_mcast_message_count"]
+
+
+def barrier_mcast_message_count(n: int) -> tuple[int, int]:
+    """(point-to-point scouts, multicasts) for the multicast barrier."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return (0, 0)
+    return (n - 1, 1)
+
+
+@register("barrier", "mcast")
+def barrier_mcast(comm) -> Generator:
+    """``yield from barrier_mcast(comm)``."""
+    channel = comm.mcast
+    seq = channel.next_seq()
+    if comm.size == 1:
+        return None
+    root = 0
+
+    if comm.rank == root:
+        yield from scout_gather_binary(comm, channel, seq, root)
+        yield from channel.send_data(None, 0, seq, control=True)
+        return None
+
+    posted = channel.post_data()
+    yield from scout_gather_binary(comm, channel, seq, root)
+    src, got_seq, _ = yield from channel.wait_data(posted)
+    if got_seq != seq or src != root:  # pragma: no cover - protocol guard
+        raise AssertionError(
+            f"rank {comm.rank} got stale barrier release "
+            f"(seq {got_seq} != {seq}) — unsafe MPI code?")
+    return None

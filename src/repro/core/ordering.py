@@ -1,0 +1,81 @@
+"""Broadcast ordering and the MPI safety restriction (paper §4).
+
+The paper argues that scout-synchronized multicast preserves broadcast
+order whenever the MPI program is *safe*: every process issues the
+collective calls of a communicator in the same order.  The reasoning is
+inductive — a rank cannot contribute its scout to broadcast *k+1* before
+it has received broadcast *k*, so the root of *k+1* cannot multicast
+early.
+
+This module provides
+
+* :func:`check_safe_schedule` — static verification that per-rank
+  schedules of (communicator, operation) pairs are identical, i.e. the
+  program meets the paper's restriction;
+* :func:`run_bcast_sequence` — a ready-made SPMD body that executes a
+  sequence of broadcasts with given roots (the paper's §4 example uses
+  roots 6, 7, 8 in one group) and records the arrival order at each rank,
+  so tests and examples can assert order preservation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Sequence
+
+__all__ = ["UnsafeScheduleError", "check_safe_schedule",
+           "run_bcast_sequence"]
+
+
+class UnsafeScheduleError(ValueError):
+    """Per-rank collective schedules differ — the program is not safe."""
+
+    def __init__(self, rank_a: int, rank_b: int, index: int,
+                 op_a: Any, op_b: Any):
+        self.ranks = (rank_a, rank_b)
+        self.index = index
+        super().__init__(
+            f"unsafe MPI program: rank {rank_a} issues {op_a!r} as its "
+            f"{index}-th collective but rank {rank_b} issues {op_b!r}")
+
+
+def check_safe_schedule(
+        schedules: dict[int, Sequence[Hashable]]) -> None:
+    """Raise :class:`UnsafeScheduleError` unless all schedules agree.
+
+    ``schedules`` maps rank -> ordered list of collective descriptors
+    (any hashable: e.g. ``("bcast", comm_ctx, root)``).
+    """
+    if not schedules:
+        return
+    ranks = sorted(schedules)
+    reference_rank = ranks[0]
+    reference = list(schedules[reference_rank])
+    for rank in ranks[1:]:
+        sched = list(schedules[rank])
+        if len(sched) != len(reference):
+            raise UnsafeScheduleError(
+                reference_rank, rank, min(len(sched), len(reference)),
+                (reference[len(sched)] if len(reference) > len(sched)
+                 else "<nothing>"),
+                (sched[len(reference)] if len(sched) > len(reference)
+                 else "<nothing>"))
+        for i, (a, b) in enumerate(zip(reference, sched)):
+            if a != b:
+                raise UnsafeScheduleError(reference_rank, rank, i, a, b)
+
+
+def run_bcast_sequence(env, roots: Sequence[int],
+                       payload_of=lambda root, i: (root, i)) -> Generator:
+    """SPMD body: broadcast ``len(roots)`` times with the given roots.
+
+    Returns the list of received payloads in arrival order at this rank —
+    identical across ranks iff ordering is preserved.  Use with
+    :func:`repro.runtime.run_spmd`.
+    """
+    comm = env.comm
+    received = []
+    for i, root in enumerate(roots):
+        obj = payload_of(root, i) if comm.rank == root else None
+        data = yield from comm.bcast(obj, root=root)
+        received.append(data)
+    return received

@@ -1,0 +1,90 @@
+"""Scout synchronization — the heart of the paper's contribution.
+
+Before a root may multicast, it must *know* every receiver has posted its
+receive.  The paper proposes two ways to gather that knowledge with
+data-less scout messages:
+
+* :func:`scout_gather_binary` — the **binary tree algorithm** (paper
+  Fig. 3): scouts propagate up a binomial/binary tree rooted at the
+  broadcast root; ``ceil(log2 N)`` sequential steps, ``N-1`` scouts.
+  A parent's scout tells the root "my whole subtree is ready", because a
+  parent only sends *after* hearing all of its children;
+* :func:`scout_gather_linear` — the **linear algorithm** (paper Fig. 4):
+  every rank scouts the root directly; the root consumes the ``N-1``
+  scouts one at a time (its single receive path makes this ``N-1``
+  sequential steps, which is why the paper expects binary to win).
+
+Both return only when the caller may proceed; the *invariant* that makes
+the following multicast safe is established by the caller posting its
+multicast receive **before** invoking the gather (checked by the
+property-based tests in ``tests/test_core_properties.py``).
+
+The tree layout is the textbook binomial gather (MPICH's reduce tree).
+The paper's Fig. 3 draws a slightly different edge layout, but the text
+only requires "binary tree, height log2(K)+1, N-1 scout messages", which
+this satisfies; the observable behaviour the paper reports — including
+two inner nodes racing to send to the root at once on 6 nodes (its Fig. 9
+discussion) — emerges identically.  DESIGN.md §7 records the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+__all__ = ["scout_gather_binary", "scout_gather_linear",
+           "binary_tree_steps", "scout_count"]
+
+
+def scout_count(n: int) -> int:
+    """Scouts sent by either gather for ``n`` ranks (the paper's N-1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n - 1
+
+
+def binary_tree_steps(n: int) -> int:
+    """Sequential steps of the binary gather: ``ceil(log2 n)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def scout_gather_binary(comm, channel, seq: int,
+                        root: int = 0, phase: str = "up") -> Generator:
+    """Binomial-tree scout gather toward ``root``.
+
+    Non-root ranks return once their scout is sent (their subtree is
+    ready); the root returns once all ``N-1`` scouts are accounted for.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rel = (comm.rank - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel & ~mask) + root) % size
+            yield from channel.send_scout(parent, seq, phase)
+            return
+        child_rel = rel | mask
+        if child_rel < size:
+            child = (child_rel + root) % size
+            missing = yield from channel.wait_scouts({child}, seq, phase)
+            if missing:  # pragma: no cover - no timeout passed
+                raise AssertionError("scout gather timed out")
+        mask <<= 1
+
+
+def scout_gather_linear(comm, channel, seq: int,
+                        root: int = 0, phase: str = "up") -> Generator:
+    """Linear scout gather: everyone scouts the root directly."""
+    size = comm.size
+    if size == 1:
+        return
+    if comm.rank == root:
+        others = {r for r in range(size) if r != root}
+        missing = yield from channel.wait_scouts(others, seq, phase)
+        if missing:  # pragma: no cover - no timeout passed
+            raise AssertionError("scout gather timed out")
+    else:
+        yield from channel.send_scout(root, seq, phase)

@@ -1,0 +1,79 @@
+"""Sequencer-ordered reliable multicast (Orca-style extension).
+
+The paper's related-work section cites the Orca project's broadcast [8],
+which funnels every broadcast through a fixed **sequencer** node to get a
+total order.  This module implements that design as an optional fifth
+bcast variant, ``mcast-sequencer``, for the ablation study:
+
+1. the root forwards the payload to the sequencer (rank 0) over reliable
+   point-to-point (skipped when the root *is* the sequencer);
+2. the sequencer stamps the channel sequence number and multicasts;
+3. receivers ack the sequencer; the sequencer retransmits on timeout
+   (same machinery as ``mcast-ack``).
+
+Compared to scout synchronization this trades the pre-send gather for a
+post-send ack implosion at the sequencer plus an extra payload hop for
+non-sequencer roots — measurably worse for one-shot broadcasts, but it
+gives a *total order* across concurrent roots without requiring safe
+code, which the scout algorithms cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..mpi.collective.registry import register
+from ..mpi.collective.tags import TAG_BCAST
+from ..mpi.datatypes import payload_bytes
+
+__all__ = ["bcast_mcast_sequencer", "SEQUENCER_RANK"]
+
+#: the fixed sequencer (rank 0 of the communicator)
+SEQUENCER_RANK = 0
+
+
+@register("bcast", "mcast-sequencer")
+def bcast_mcast_sequencer(comm, obj: Any, root: int = 0) -> Generator:
+    """Orca-style: root → sequencer (p2p), sequencer → group (multicast
+    with ack/retransmit reliability)."""
+    channel = comm.mcast
+    params = comm.host.params
+    seq = channel.next_seq()
+    if comm.size == 1:
+        return obj
+
+    me = comm.rank
+    if me == root and root != SEQUENCER_RANK:
+        # Ship the payload to the sequencer over the reliable p2p path.
+        yield from comm._send_coll(obj, SEQUENCER_RANK, TAG_BCAST)
+
+    if me == SEQUENCER_RANK:
+        if root != SEQUENCER_RANK:
+            obj = yield from comm._recv_coll(root, TAG_BCAST)
+        nbytes = payload_bytes(obj)
+        yield from channel.send_data(obj, nbytes, seq)
+        missing = {r for r in range(comm.size) if r != SEQUENCER_RANK}
+        attempts = 0
+        while missing:
+            missing = yield from channel.wait_scouts(
+                missing, seq, phase="ack",
+                timeout_us=params.ack_timeout_us)
+            if missing:
+                attempts += 1
+                if attempts > params.max_retransmits:
+                    raise RuntimeError(
+                        f"sequencer gave up after {attempts - 1} "
+                        f"retransmits; unreachable {sorted(missing)}")
+                yield from channel.send_data(obj, nbytes, seq,
+                                             retransmit=True)
+        return obj
+
+    # Everyone else (including a non-sequencer root) receives the
+    # sequencer's multicast and acks it.
+    while True:
+        posted = channel.post_data()
+        src, got_seq, data = yield from channel.wait_data(posted)
+        if got_seq == seq and src == SEQUENCER_RANK:
+            break
+    yield from channel.send_scout(SEQUENCER_RANK, seq, phase="ack")
+    return data

@@ -1,0 +1,21 @@
+"""Collective-operation implementations and the dispatch registry.
+
+Every collective is a plain generator function taking the communicator as
+its first argument; :class:`~repro.mpi.communicator.Communicator` looks up
+the active implementation by name.  The MPICH-style algorithms (built on
+point-to-point, as the paper's baseline) register themselves here; the
+multicast implementations in :mod:`repro.core` register under
+``mcast-*`` names.
+"""
+
+from .registry import REGISTRY, get_impl, register, DEFAULTS
+
+# Importing the modules registers the p2p baselines.
+from . import bcast_p2p      # noqa: F401  (registration side effect)
+from . import barrier_p2p    # noqa: F401
+from . import reduce_p2p     # noqa: F401
+from . import gather_p2p     # noqa: F401
+from . import alltoall_p2p   # noqa: F401
+from . import extras         # noqa: F401
+
+__all__ = ["REGISTRY", "get_impl", "register", "DEFAULTS"]

@@ -1,0 +1,78 @@
+"""MPICH-style broadcast: the binomial tree of the paper's Fig. 2.
+
+The root sends **separate copies** of the full message down a binomial
+tree: with 7 processes, rank 0 sends to 4, 2, 1; rank 2 forwards to 3;
+rank 4 forwards to 5 and 6.  Every edge carries the whole payload, so the
+operation puts ``(floor(M/T)+1) * (N-1)`` frames on the network — the
+baseline cost the multicast implementation attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .registry import register
+from .tags import TAG_BCAST
+
+__all__ = ["bcast_binomial", "binomial_children", "binomial_parent"]
+
+
+def binomial_parent(rel: int) -> int:
+    """Parent of relative rank ``rel`` in the binomial broadcast tree."""
+    if rel == 0:
+        raise ValueError("the root has no parent")
+    mask = 1
+    while not rel & mask:
+        mask <<= 1
+    return rel & ~mask
+
+
+def binomial_children(rel: int, size: int) -> list[int]:
+    """Children of relative rank ``rel``, in MPICH send order (big first)."""
+    # The mask where `rel` received (its lowest set bit), halved downward.
+    mask = 1
+    while mask < size and not rel & mask:
+        mask <<= 1
+    mask >>= 1
+    kids = []
+    while mask > 0:
+        child = rel + mask
+        if child < size:
+            kids.append(child)
+        mask >>= 1
+    return kids
+
+
+@register("bcast", "p2p-binomial")
+def bcast_binomial(comm, obj: Any, root: int = 0) -> Generator:
+    """``obj = yield from bcast_binomial(comm, obj, root)``."""
+    size = comm.size
+    if size == 1:
+        return obj
+    rank = comm.rank
+    rel = (rank - root) % size
+
+    if rel != 0:
+        parent = (binomial_parent(rel) + root) % size
+        obj = yield from comm._recv_coll(parent, TAG_BCAST)
+    for child in binomial_children(rel, size):
+        dst = (child + root) % size
+        yield from comm._send_coll(obj, dst, TAG_BCAST)
+    return obj
+
+
+@register("bcast", "p2p-linear")
+def bcast_linear_p2p(comm, obj: Any, root: int = 0) -> Generator:
+    """Naive reference: root sends a separate copy to every rank in turn.
+
+    Not in the paper's comparison, but a useful lower baseline for tests
+    (it maximizes root serialization).
+    """
+    if comm.size == 1:
+        return obj
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                yield from comm._send_coll(obj, dst, TAG_BCAST)
+        return obj
+    return (yield from comm._recv_coll(root, TAG_BCAST))

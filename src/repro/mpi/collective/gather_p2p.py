@@ -1,0 +1,93 @@
+"""Binomial gather and scatter, plus gather-then-broadcast allgather.
+
+Gather walks the same binomial tree as reduce, but accumulates a
+``{rank: object}`` mapping instead of combining values, so the root can
+return a correctly ordered list.  Scatter walks the broadcast tree
+top-down, peeling off each subtree's slice of the payload (only the
+subtree's share rides each edge, like MPICH's minimal scatter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from ..datatypes import payload_bytes
+from .bcast_p2p import binomial_children, binomial_parent
+from .registry import register
+from .tags import TAG_GATHER, TAG_SCATTER
+
+__all__ = ["gather_binomial", "scatter_binomial", "allgather_gather_bcast"]
+
+
+def _subtree(rel: int, size: int) -> list[int]:
+    """Relative ranks in the binomial subtree rooted at ``rel`` (incl.)."""
+    out = [rel]
+    for child in binomial_children(rel, size):
+        out.extend(_subtree(child, size))
+    return out
+
+
+@register("gather", "p2p-binomial")
+def gather_binomial(comm, obj: Any, root: int = 0) -> Generator:
+    """Returns the rank-ordered list at ``root``; ``None`` elsewhere."""
+    size = comm.size
+    rank = comm.rank
+    if size == 1:
+        return [obj]
+    rel = (rank - root) % size
+
+    collected: dict[int, Any] = {rank: obj}
+    # Children in the *reduce* direction: receive each child subtree.
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            dst = ((rel & ~mask) + root) % size
+            yield from comm._send_coll(collected, dst, TAG_GATHER)
+            return None
+        src_rel = rel | mask
+        if src_rel < size:
+            part = yield from comm._recv_coll((src_rel + root) % size,
+                                              TAG_GATHER)
+            collected.update(part)
+        mask <<= 1
+
+    # ``collected`` is keyed by absolute rank; return in rank order.
+    return [collected[r] for r in range(size)]
+
+
+@register("scatter", "p2p-binomial")
+def scatter_binomial(comm, objs: Optional[Sequence[Any]],
+                     root: int = 0) -> Generator:
+    """Returns this rank's element of the root's sequence."""
+    size = comm.size
+    rank = comm.rank
+    if size == 1:
+        if objs is None or len(objs) != 1:
+            raise ValueError("scatter at root needs exactly size elements")
+        return objs[0]
+    rel = (rank - root) % size
+
+    if rel == 0:
+        if objs is None or len(objs) != size:
+            raise ValueError(
+                f"scatter root needs exactly {size} elements, "
+                f"got {None if objs is None else len(objs)}")
+        slice_map = {r: objs[(r + root) % size] for r in range(size)}
+    else:
+        parent = (binomial_parent(rel) + root) % size
+        slice_map = yield from comm._recv_coll(parent, TAG_SCATTER)
+
+    for child in binomial_children(rel, size):
+        members = set(_subtree(child, size))
+        part = {r: slice_map[r] for r in members}
+        yield from comm._send_coll(part, (child + root) % size, TAG_SCATTER)
+
+    return slice_map[rel]
+
+
+@register("allgather", "p2p-gather-bcast")
+def allgather_gather_bcast(comm, obj: Any) -> Generator:
+    """MPICH 1.x allgather: gather to rank 0, then broadcast the list."""
+    everything = yield from comm._dispatch("gather", obj, 0)
+    everything = yield from comm._dispatch("bcast", everything, 0)
+    return everything

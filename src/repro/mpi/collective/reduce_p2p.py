@@ -1,0 +1,70 @@
+"""Binomial-tree reduce, plus reduce-then-broadcast allreduce and a linear
+scan — the MPICH 1.x algorithm family.
+
+Combination order: the accumulator always holds the reduction of a
+*contiguous ascending* rank range, and incoming subtree results are always
+appended on the right (``acc = op(acc, incoming)``), so non-commutative
+(but associative) operators see operands in rank order, as MPI requires.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Generator
+
+from ..ops import Op
+from .registry import register
+from .tags import TAG_REDUCE, TAG_SCAN
+
+__all__ = ["reduce_binomial", "allreduce_reduce_bcast", "scan_linear"]
+
+
+@register("reduce", "p2p-binomial")
+def reduce_binomial(comm, obj: Any, op: Op, root: int = 0) -> Generator:
+    """``result = yield from reduce_binomial(comm, obj, op, root)``.
+
+    Returns the reduction at ``root``; ``None`` elsewhere.
+    """
+    size = comm.size
+    rank = comm.rank
+    if size == 1:
+        return copy.copy(obj)
+    rel = (rank - root) % size
+
+    acc = obj
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            dst = ((rel & ~mask) + root) % size
+            yield from comm._send_coll(acc, dst, TAG_REDUCE)
+            break
+        src_rel = rel | mask
+        if src_rel < size:
+            incoming = yield from comm._recv_coll((src_rel + root) % size,
+                                                  TAG_REDUCE)
+            acc = op(acc, incoming)
+        mask <<= 1
+
+    return acc if rel == 0 else None
+
+
+@register("allreduce", "p2p-reduce-bcast")
+def allreduce_reduce_bcast(comm, obj: Any, op: Op) -> Generator:
+    """MPICH 1.x allreduce: reduce to rank 0, then broadcast."""
+    result = yield from comm._dispatch("reduce", obj, op, 0)
+    result = yield from comm._dispatch("bcast", result, 0)
+    return result
+
+
+@register("scan", "p2p-linear")
+def scan_linear(comm, obj: Any, op: Op) -> Generator:
+    """Inclusive prefix reduction along the rank chain."""
+    rank = comm.rank
+    size = comm.size
+    result = copy.copy(obj)
+    if rank > 0:
+        prefix = yield from comm._recv_coll(rank - 1, TAG_SCAN)
+        result = op(prefix, obj)
+    if rank < size - 1:
+        yield from comm._send_coll(result, rank + 1, TAG_SCAN)
+    return result

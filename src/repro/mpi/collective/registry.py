@@ -1,0 +1,51 @@
+"""Named registry of collective implementations.
+
+``REGISTRY[op][impl_name] -> generator function``.  The paper's experiment
+is exactly a comparison of entries in this table:
+
+* ``bcast``: ``"p2p-binomial"`` (MPICH) vs ``"mcast-binary"`` /
+  ``"mcast-linear"`` (the contribution) plus ``"mcast-naive"`` and
+  ``"mcast-ack"`` (the PVM-style baseline from [2]);
+* ``barrier``: ``"p2p-mpich"`` vs ``"mcast"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["REGISTRY", "register", "get_impl", "DEFAULTS"]
+
+REGISTRY: dict[str, dict[str, Callable]] = {}
+
+#: implementation chosen when a communicator is not configured otherwise
+DEFAULTS: dict[str, str] = {
+    "bcast": "p2p-binomial",
+    "barrier": "p2p-mpich",
+    "reduce": "p2p-binomial",
+    "allreduce": "p2p-reduce-bcast",
+    "gather": "p2p-binomial",
+    "scatter": "p2p-binomial",
+    "allgather": "p2p-gather-bcast",
+    "alltoall": "p2p-pairwise",
+    "scan": "p2p-linear",
+}
+
+
+def register(op: str, name: str) -> Callable:
+    """Decorator: ``@register("bcast", "p2p-binomial")``."""
+
+    def deco(fn: Callable) -> Callable:
+        REGISTRY.setdefault(op, {})[name] = fn
+        return fn
+
+    return deco
+
+
+def get_impl(op: str, name: str) -> Callable:
+    try:
+        return REGISTRY[op][name]
+    except KeyError:
+        known = sorted(REGISTRY.get(op, {}))
+        raise KeyError(
+            f"no implementation {name!r} for collective {op!r}; "
+            f"known: {known}") from None

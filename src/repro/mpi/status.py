@@ -1,0 +1,106 @@
+"""MPI Status and Request objects (mpi4py-flavoured)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..simnet.kernel import Event
+
+__all__ = ["Status", "Request", "ANY_SOURCE", "ANY_TAG"]
+
+#: wildcard source rank for receives
+ANY_SOURCE = -1
+#: wildcard tag for receives
+ANY_TAG = -1
+
+
+@dataclass
+class Status:
+    """Receive metadata: who sent, with what tag, how many bytes."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.count
+
+
+@dataclass
+class Request:
+    """Handle on an in-flight nonblocking operation.
+
+    ``wait`` is a generator (``data = yield from req.wait()``); ``test``
+    is an instantaneous poll.  The event's value is ``(data, Status)``.
+    """
+
+    event: Event
+    kind: str = "recv"                #: "send" | "recv" (informational)
+    status: Status = field(default_factory=Status)
+
+    def wait(self) -> Generator:
+        data, status = yield self.event
+        self.status.__dict__.update(status.__dict__)
+        return data
+
+    def test(self) -> tuple[bool, Optional[Any]]:
+        if not self.event.triggered:
+            return False, None
+        data, status = self.event.value
+        self.status.__dict__.update(status.__dict__)
+        return True, data
+
+    @property
+    def complete(self) -> bool:
+        return self.event.triggered
+
+
+def waitall(reqs: list[Request]) -> Generator:
+    """``results = yield from waitall(reqs)`` — wait on many requests."""
+    results = []
+    for req in reqs:
+        results.append((yield from req.wait()))
+    return results
+
+
+def waitany(reqs: list[Request]) -> Generator:
+    """``index, data = yield from waitany(reqs)`` — wait for the first.
+
+    Returns the index of the completed request and its data.  The other
+    requests remain valid and can be waited on later.
+    """
+    if not reqs:
+        raise ValueError("waitany needs at least one request")
+    sim = None
+    for req in reqs:
+        done, data = req.test()
+        if done:
+            return reqs.index(req), data
+        sim = req.event.sim
+    yield sim.any_of([r.event for r in reqs])
+    for i, req in enumerate(reqs):
+        done, data = req.test()
+        if done:
+            return i, data
+    raise AssertionError("any_of fired but no request completed")
+
+
+def waitsome(reqs: list[Request]) -> Generator:
+    """``pairs = yield from waitsome(reqs)`` — all currently-completable
+    requests (at least one): list of (index, data) pairs."""
+    first_idx, first_data = yield from waitany(reqs)
+    out = [(first_idx, first_data)]
+    for i, req in enumerate(reqs):
+        if i == first_idx:
+            continue
+        done, data = req.test()
+        if done:
+            out.append((i, data))
+    return out

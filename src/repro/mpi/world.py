@@ -1,0 +1,55 @@
+"""The MPI "world": endpoints, context-id allocation, COMM_WORLD.
+
+One :class:`MpiWorld` exists per simulated job.  It owns an
+:class:`~repro.mpi.p2p.MpiEndpoint` per host and hands out context ids.
+
+Context-id agreement note: real MPICH agrees on new context ids with a
+collective; here the world object *is* the agreed outcome (allocation is
+deterministic and shared), while the communication cost of agreement is
+still paid — ``dup``/``split`` perform a real allgather + broadcast +
+barrier over the simulated network.  DESIGN.md §7 records this deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simnet.topology import Cluster
+from .communicator import Communicator
+from .p2p import DEFAULT_EAGER_THRESHOLD, MpiEndpoint
+
+__all__ = ["MpiWorld"]
+
+
+class MpiWorld:
+    """Job-wide MPI state over a simulated cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 eager_threshold: int = DEFAULT_EAGER_THRESHOLD):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.endpoints: dict[int, MpiEndpoint] = {
+            host.addr: MpiEndpoint(host, eager_threshold)
+            for host in cluster.hosts
+        }
+        self._next_ctx = 1  # ctx 0 is COMM_WORLD
+
+    # -- context ids -----------------------------------------------------
+    def alloc_ctx(self) -> int:
+        ctx = self._next_ctx
+        self._next_ctx += 1
+        return ctx
+
+    def alloc_ctx_range(self, n: int) -> int:
+        """Reserve ``n`` consecutive context ids; returns the first."""
+        if n < 1:
+            raise ValueError(f"need at least one ctx, got {n}")
+        base = self._next_ctx
+        self._next_ctx += n
+        return base
+
+    # -- communicators ------------------------------------------------------
+    def comm_world(self, rank: int) -> Communicator:
+        """Rank ``rank``'s COMM_WORLD view (ranks = host addresses 0..n-1)."""
+        addrs = [host.addr for host in self.cluster.hosts]
+        return Communicator(self, ctx=0, rank=rank, ranks=addrs)

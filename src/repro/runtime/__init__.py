@@ -1,0 +1,9 @@
+"""``repro.runtime`` — launch SPMD rank programs on the simulated cluster."""
+
+from .env import RankEnv
+from .program import RunResult, run_spmd
+from .skew import (FixedSkew, NoSkew, SkewModel, UniformSkew,
+                   compute_phase)
+
+__all__ = ["FixedSkew", "NoSkew", "RankEnv", "RunResult", "SkewModel",
+           "UniformSkew", "compute_phase", "run_spmd"]

@@ -1,0 +1,38 @@
+"""Per-rank execution environment handed to SPMD programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..mpi.communicator import Communicator
+from ..simnet.host import Host
+from ..simnet.kernel import Simulator
+
+__all__ = ["RankEnv"]
+
+
+@dataclass
+class RankEnv:
+    """Everything a rank program needs.
+
+    ``records`` is a free-form scratch dict: programs may stash
+    measurements there; :class:`~repro.runtime.program.RunResult` exposes
+    all ranks' records to the caller.
+    """
+
+    rank: int
+    size: int
+    comm: Communicator
+    host: Host
+    sim: Simulator
+    records: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in µs."""
+        return self.sim.now
+
+    def log(self, key: str, value: Any) -> None:
+        """Append ``value`` to the record list under ``key``."""
+        self.records.setdefault(key, []).append(value)

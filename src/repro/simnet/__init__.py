@@ -1,0 +1,36 @@
+"""``repro.simnet`` — the discrete-event network substrate.
+
+Everything the paper's testbed provided in hardware, rebuilt in software:
+a deterministic event kernel, CSMA/CD shared Ethernet (the hub), a
+store-and-forward IGMP-snooping switch, and a UDP/IP stack with the
+paper's receiver-readiness semantics.  See DESIGN.md §3.
+"""
+
+from .calibration import (FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH,
+                          NetParams, VIA_SWITCH, quiet)
+from .frame import BROADCAST, Frame, is_multicast, mcast_mac, wire_bytes
+from .host import Host
+from .ip import Datagram, GroupAllocator, fragment_sizes, is_group_addr
+from .kernel import (AllOf, AnyOf, DeadlockError, Event, Interrupt, Process,
+                     SimError, Simulator, Timeout)
+from .link import FullLink, HalfLink
+from .medium import ExcessiveCollisions, SharedMedium
+from .nic import Nic
+from .resource import Resource
+from .stats import NetStats
+from .switchdev import Switch
+from .topology import TOPOLOGIES, Cluster, build_cluster
+from .trace import TraceEvent, Tracer
+from .udp import SocketClosed, UdpSocket
+
+__all__ = [
+    "AllOf", "AnyOf", "BROADCAST", "Cluster", "Datagram", "DeadlockError",
+    "Event", "ExcessiveCollisions", "FAST_ETHERNET_HUB",
+    "FAST_ETHERNET_SWITCH", "Frame", "FullLink", "GroupAllocator",
+    "HalfLink", "Host", "Interrupt", "NetParams", "NetStats", "Nic",
+    "Process", "Resource", "SharedMedium", "SimError", "Simulator",
+    "SocketClosed", "Switch", "TOPOLOGIES", "Timeout", "TraceEvent",
+    "Tracer", "UdpSocket", "VIA_SWITCH", "build_cluster",
+    "fragment_sizes", "is_group_addr", "is_multicast", "mcast_mac",
+    "quiet", "wire_bytes",
+]

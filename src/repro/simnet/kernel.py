@@ -1,0 +1,405 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free engine in the style of SimPy, specialised for the
+needs of a network simulator:
+
+* the clock is a ``float`` in **microseconds** (see :mod:`repro.simnet.units`);
+* simulated activities are plain Python **generators** that ``yield``
+  :class:`Event` objects and are resumed with the event's value;
+* ties in the event heap are broken by insertion order, so runs are fully
+  deterministic for a fixed seed.
+
+Typical use::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(5.0)          # sleep 5 µs
+        ev = sim.event()
+        sim.schedule_call(1.0, ev.succeed, "ping")
+        msg = yield ev                  # blocks until ev fires
+        return msg
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "ping"
+
+The kernel also detects **deadlock**: if :meth:`Simulator.run` exhausts the
+event heap while processes are still suspended, it raises
+:class:`DeadlockError` naming them — invaluable when debugging MPI programs
+whose ranks wait on messages that never arrive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "SimError",
+    "DeadlockError",
+    "Interrupt",
+]
+
+
+class SimError(Exception):
+    """Base class for simulator errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when the event heap drains while processes are still blocked."""
+
+    def __init__(self, processes: list["Process"]):
+        self.processes = processes
+        names = ", ".join(p.name for p in processes)
+        super().__init__(
+            f"simulation deadlock: {len(processes)} process(es) still "
+            f"suspended with no pending events: {names}"
+        )
+
+
+class Interrupt(SimError):
+    """Thrown *into* a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        self.cause = cause
+        super().__init__(f"process interrupted (cause={cause!r})")
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called;
+    its callbacks then run at the current simulation time (or, for events
+    scheduled with a delay, at their due time).  Triggering twice is an
+    error — it almost always indicates a protocol bug in the caller.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (callbacks may not have run yet)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been dispatched."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError("event value read before the event triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay`` µs."""
+        if self._triggered:
+            raise SimError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._push(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters have ``exc`` raised in them."""
+        if self._triggered:
+            raise SimError(f"event {self!r} triggered twice")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.sim._push(delay, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` µs after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._push(delay, self)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that fires on return.
+
+    Yield semantics inside the generator:
+
+    * ``yield event`` — suspend until ``event`` fires; the ``yield``
+      expression evaluates to the event's value (or raises, if it failed).
+    * ``return x`` — terminate; the process-event succeeds with ``x``.
+    * an uncaught exception fails the process-event, propagating to any
+      process joined on it (and to :meth:`Simulator.run` if nobody is).
+    """
+
+    __slots__ = ("gen", "name", "daemon", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
+                 daemon: bool = False):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", None) or repr(gen)
+        self.daemon = daemon
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at the current simulation time.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+        sim._live_processes.add(self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from the event we were waiting on; it may still fire
+            # later but will find no waiter.
+            pass
+        kick = Event(self.sim)
+        kick.add_callback(lambda _ev: self._throw(Interrupt(cause)))
+        kick.succeed(None)
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # already finished (e.g. interrupted while waiting)
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we abandoned via interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self.gen.send(event._value))
+        else:
+            self._step(lambda: self.gen.throw(event._value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        sim = self.sim
+        prev = sim.active_process
+        sim.active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            sim._live_processes.discard(self)
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._live_processes.discard(self)
+            sim._crashed.append((self, exc))
+            self.fail(exc)
+            return
+        finally:
+            sim.active_process = prev
+        if not isinstance(target, Event):
+            err = SimError(
+                f"process {self.name} yielded {target!r}; processes must "
+                f"yield Event instances (did you forget 'yield from'?)"
+            )
+            sim._live_processes.discard(self)
+            sim._crashed.append((self, err))
+            self.fail(err)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_n_needed", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], n_needed: int):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("condition requires at least one event")
+        self._n_needed = min(n_needed, len(self.events))
+        self._n_done = 0
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._n_done += 1
+        if self._n_done >= self._n_needed:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout is "triggered" from
+        # birth (its value is known), but it has not happened until its
+        # due time passes and callbacks run.
+        return {ev: ev._value for ev in self.events
+                if ev.processed and ev.ok}
+
+
+class AnyOf(_Condition):
+    """Fires when *any* of the given events fires; value = {event: value}."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, n_needed=1)
+
+
+class AllOf(_Condition):
+    """Fires when *all* of the given events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        evs = list(events)
+        super().__init__(sim, evs, n_needed=len(evs))
+
+
+class Simulator:
+    """The event loop: a heap of ``(due_time, seq, event)`` triples."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+        self._live_processes: set[Process] = set()
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "",
+                daemon: bool = False) -> Process:
+        """Start ``gen`` as a simulated process; returns its Process event.
+
+        ``daemon=True`` marks background engines (e.g. MPI progress loops)
+        that legitimately outlive the workload: they do not trigger
+        :class:`DeadlockError` when the heap drains.
+        """
+        return Process(self, gen, name, daemon=daemon)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def schedule_call(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Call ``fn(*args)`` after ``delay`` µs; returns the trigger event."""
+        ev = Event(self)
+        ev.add_callback(lambda _ev: fn(*args))
+        ev.succeed(None, delay=delay)
+        return ev
+
+    # -- scheduling internals --------------------------------------------
+    def _push(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- main loop --------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        due, _seq, event = heapq.heappop(self._heap)
+        self.now = due
+        event._dispatch()
+
+    def peek(self) -> float:
+        """Due time of the next event, or +inf if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final clock value.  Raises :class:`DeadlockError` if the
+        heap drains with live processes remaining, and re-raises the first
+        uncaught exception from any process that nothing joined on.
+        """
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                break
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed[0]
+                # A crash is only fatal if nobody is joined on that process
+                # (its failure event would otherwise propagate the error).
+                if proc.callbacks is not None and not proc.callbacks:
+                    self._crashed.clear()
+                    raise exc
+                self._crashed.clear()
+        else:
+            alive = [p for p in self._live_processes
+                     if p.is_alive and not p.daemon]
+            if alive and until is None:
+                raise DeadlockError(alive)
+        return self.now

@@ -1,0 +1,82 @@
+"""Full-duplex point-to-point links (host ↔ switch cabling).
+
+Unlike the hub's shared medium, a switched segment gives every station a
+private collision-free channel in each direction.  Each
+:class:`HalfLink` is an independent serializer: frames queue FIFO, occupy
+the transmitter for their wire time, and arrive at the far end one
+propagation delay after serialization completes (store-and-forward —
+the receiving device only sees a frame once the last bit is in).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .calibration import NetParams
+from .frame import Frame
+from .kernel import Event, Simulator
+from .stats import NetStats
+
+__all__ = ["HalfLink", "FullLink"]
+
+
+class HalfLink:
+    """One direction of a full-duplex link."""
+
+    def __init__(self, sim: Simulator, params: NetParams, stats: NetStats,
+                 deliver: Callable[[Frame], object], name: str = "",
+                 count_as_send: bool = True):
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        self.deliver = deliver
+        self.name = name
+        #: host-originated links count toward ``frames_sent`` (the paper's
+        #: frame accounting); switch egress links count as forwards so a
+        #: switched path is not double-counted.
+        self.count_as_send = count_as_send
+        self._queue: deque[tuple[Frame, Event]] = deque()
+        self._busy = False
+
+    def send(self, frame: Frame) -> Event:
+        """Queue ``frame``; the event fires when serialization finishes."""
+        done = self.sim.event()
+        self._queue.append((frame, done))
+        if not self._busy:
+            self._pump()
+        return done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _pump(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame, done = self._queue.popleft()
+        wire_us = frame.wire_time_us(self.params.rate_mbps)
+        if self.count_as_send:
+            self.stats.record_send(frame.wire_size, frame.kind)
+        else:
+            self.stats.frames_forwarded += 1
+        self.sim.schedule_call(wire_us + self.params.prop_delay_us,
+                               self._arrive, frame)
+        self.sim.schedule_call(wire_us, self._sent, done)
+
+    def _sent(self, done: Event) -> None:
+        done.succeed(True)
+        self._pump()
+
+    def _arrive(self, frame: Frame) -> None:
+        self.deliver(frame)
+
+
+class FullLink:
+    """A pair of half links; convenience container used by topologies."""
+
+    def __init__(self, a_to_b: HalfLink, b_to_a: HalfLink):
+        self.a_to_b = a_to_b
+        self.b_to_a = b_to_a

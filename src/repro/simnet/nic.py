@@ -1,0 +1,152 @@
+"""Network interface card model.
+
+The NIC owns the transmit queue (frames go out strictly FIFO, one at a
+time) and the receive-side **address filter**: a frame is accepted only if
+it is unicast to this station, broadcast, or multicast to a group the host
+has programmed into the filter.  Multicast frames for groups nobody joined
+die here, silently — the data-link half of the paper's "receiver must be
+ready" story.
+
+Accepted frames pay ``per_frame_rx_us`` (interrupt + IP input processing)
+before reaching the host's IP stack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Protocol
+
+from .calibration import NetParams
+from .frame import BROADCAST, Frame, is_multicast
+from .kernel import Event, Simulator
+from .stats import NetStats
+
+__all__ = ["Nic", "TxPort"]
+
+
+class TxPort(Protocol):
+    """Anything a NIC can transmit through (shared medium or half link)."""
+
+    def transmit(self, nic: "Nic", frame: Frame) -> Event: ...
+
+
+class _MediumPort:
+    """Adapter: hub/shared-medium attachment."""
+
+    def __init__(self, medium):
+        self.medium = medium
+
+    def transmit(self, nic: "Nic", frame: Frame) -> Event:
+        return self.medium.transmit(nic, frame)
+
+
+class _LinkPort:
+    """Adapter: switched attachment through an egress half link."""
+
+    def __init__(self, halflink):
+        self.halflink = halflink
+
+    def transmit(self, nic: "Nic", frame: Frame) -> Event:
+        return self.halflink.send(frame)
+
+
+class Nic:
+    """One station's interface: FIFO tx queue + rx multicast filter."""
+
+    def __init__(self, sim: Simulator, params: NetParams, mac: int,
+                 stats: Optional[NetStats] = None, name: str = ""):
+        self.sim = sim
+        self.params = params
+        self.mac = mac
+        self.stats = stats if stats is not None else NetStats()
+        self.name = name or f"nic{mac}"
+        self._port: Optional[TxPort] = None
+        self._receiver: Optional[Callable[[Frame], None]] = None
+        self._txq: deque[tuple[Frame, Event]] = deque()
+        self._tx_busy = False
+        self._mcast_refs: dict[int, int] = {}
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.filtered_frames = 0
+        self.tx_errors = 0
+
+    # -- wiring -------------------------------------------------------------
+    def attach_medium(self, medium) -> None:
+        """Plug into a shared CSMA/CD segment (hub topology)."""
+        self._port = _MediumPort(medium)
+        medium.attach(self)
+
+    def attach_link(self, out_halflink) -> None:
+        """Plug into a switch via the host→switch half link."""
+        self._port = _LinkPort(out_halflink)
+
+    def set_receiver(self, fn: Callable[[Frame], None]) -> None:
+        """Install the IP-input callback (one per host)."""
+        self._receiver = fn
+
+    # -- multicast filter ----------------------------------------------------
+    def join_filter(self, group_mac: int) -> None:
+        self._mcast_refs[group_mac] = self._mcast_refs.get(group_mac, 0) + 1
+
+    def leave_filter(self, group_mac: int) -> None:
+        refs = self._mcast_refs.get(group_mac, 0)
+        if refs <= 1:
+            self._mcast_refs.pop(group_mac, None)
+        else:
+            self._mcast_refs[group_mac] = refs - 1
+
+    def in_filter(self, group_mac: int) -> bool:
+        return group_mac in self._mcast_refs
+
+    # -- transmit path ------------------------------------------------------
+    def send(self, frame: Frame) -> Event:
+        """Queue a frame; the event fires once it is on the wire."""
+        if self._port is None:
+            raise RuntimeError(f"{self.name} is not attached to any network")
+        done = self.sim.event()
+        self._txq.append((frame, done))
+        if not self._tx_busy:
+            self._tx_pump()
+        return done
+
+    @property
+    def tx_queue_depth(self) -> int:
+        return len(self._txq)
+
+    def _tx_pump(self) -> None:
+        if not self._txq:
+            self._tx_busy = False
+            return
+        self._tx_busy = True
+        frame, done = self._txq.popleft()
+        port_done = self._port.transmit(self, frame)
+        port_done.add_callback(lambda ev: self._tx_done(ev, done))
+
+    def _tx_done(self, port_ev: Event, done: Event) -> None:
+        if port_ev.ok:
+            self.tx_frames += 1
+            done.succeed(True)
+        else:
+            self.tx_errors += 1
+            done.fail(port_ev._value)
+        # Next frame pays the per-fragment driver cost before transmitting.
+        if self._txq:
+            self.sim.schedule_call(self.params.per_frame_tx_us, self._tx_pump)
+        else:
+            self._tx_busy = False
+
+    # -- receive path --------------------------------------------------------
+    def deliver(self, frame: Frame) -> bool:
+        """Called by the medium/link; returns True if the filter accepted."""
+        dst = frame.dst
+        accept = (dst == self.mac or dst == BROADCAST
+                  or (is_multicast(dst) and dst in self._mcast_refs))
+        if not accept:
+            self.filtered_frames += 1
+            return False
+        self.rx_frames += 1
+        self.stats.frames_delivered += 1
+        if self._receiver is not None:
+            self.sim.schedule_call(self.params.per_frame_rx_us,
+                                   self._receiver, frame)
+        return True

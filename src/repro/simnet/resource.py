@@ -1,0 +1,60 @@
+"""A FIFO mutual-exclusion resource (models a host CPU).
+
+Per-message software overheads — the dominant cost at the paper's message
+sizes — must *serialize* on each host: a rank cannot overlap two sendto()
+calls.  Every host owns one :class:`Resource`; protocol code holds it for
+the duration of each software overhead via :meth:`Resource.use`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from .kernel import Event, SimError, Simulator
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """Capacity-1 FIFO lock for simulated processes."""
+
+    def __init__(self, sim: Simulator, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self._held = False
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that fires when the caller holds the resource."""
+        ev = self.sim.event()
+        if not self._held:
+            self._held = True
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._held:
+            raise SimError(f"release of un-held resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._held = False
+
+    def use(self, duration_us: float) -> Generator:
+        """``yield from cpu.use(t)`` — hold the resource for ``t`` µs."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration_us)
+        finally:
+            self.release()

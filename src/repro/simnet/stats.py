@@ -1,0 +1,68 @@
+"""Network-wide counters.
+
+One :class:`NetStats` instance is shared by every device in a cluster; the
+benchmark harness reads it to report frames-on-wire (checked against the
+paper's frame-count formulas), collisions (the paper's variance story on
+the hub), and drops (the unreliability story for naive multicast).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["NetStats"]
+
+
+@dataclass
+class NetStats:
+    """Mutable counters updated by media, switches, NICs and sockets."""
+
+    frames_sent: int = 0          #: host-originated frame transmissions
+    frames_forwarded: int = 0     #: switch-egress re-serializations
+    frames_delivered: int = 0     #: frame copies accepted by a NIC filter
+    bytes_sent: int = 0           #: wire bytes (incl. Ethernet overhead)
+    collisions: int = 0           #: CSMA/CD collision events
+    backoffs: int = 0             #: individual station backoffs
+    drops_no_listener: int = 0    #: multicast frame with no ready NIC filter
+    drops_buffer_full: int = 0    #: datagram dropped: socket buffer overrun
+    drops_not_posted: int = 0     #: datagram dropped: no posted receive
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    retransmissions: int = 0      #: ack-based reliable-multicast resends
+    frames_by_kind: Counter = field(default_factory=Counter)
+
+    def record_send(self, wire_size: int, kind: str) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += wire_size
+        self.frames_by_kind[kind] += 1
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (for RunResult reporting)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_forwarded": self.frames_forwarded,
+            "frames_delivered": self.frames_delivered,
+            "bytes_sent": self.bytes_sent,
+            "collisions": self.collisions,
+            "backoffs": self.backoffs,
+            "drops_no_listener": self.drops_no_listener,
+            "drops_buffer_full": self.drops_buffer_full,
+            "drops_not_posted": self.drops_not_posted,
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_delivered": self.datagrams_delivered,
+            "retransmissions": self.retransmissions,
+            "frames_by_kind": dict(self.frames_by_kind),
+        }
+
+    def diff(self, earlier: dict) -> dict:
+        """Counter deltas since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        out = {}
+        for key, val in now.items():
+            if key == "frames_by_kind":
+                prev = earlier.get(key, {})
+                out[key] = {k: v - prev.get(k, 0) for k, v in val.items()}
+            else:
+                out[key] = val - earlier.get(key, 0)
+        return out

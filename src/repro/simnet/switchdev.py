@@ -1,0 +1,119 @@
+"""Store-and-forward learning switch with IGMP snooping.
+
+Models the paper's HP ProCurve managed switch:
+
+* **learning** — source MACs are learned per port; unicast to a known MAC
+  goes out exactly one port, unknown destinations are flooded;
+* **store-and-forward** — a frame is processed only after it has been fully
+  received on the ingress link (the ingress :class:`~repro.simnet.link.HalfLink`
+  delivers on last-bit arrival), then pays ``switch_latency_us`` for lookup,
+  then queues on each egress port, where it is serialized again.  This
+  double serialization is why the paper's Fig. 11 shows the hub *beating*
+  the switch for multicast traffic;
+* **IGMP snooping** — the switch learns multicast group membership from
+  IGMP report/leave frames and forwards a multicast frame only to member
+  ports, so multicast on the switch consumes no bandwidth on uninvolved
+  links (frames to groups with no snooped members are flooded, as real
+  switches do for unregistered groups).
+
+Egress ports forward in parallel with each other — the fan-out of a
+multicast frame costs one serialization *per egress port* but those happen
+concurrently, unlike the hub where everything shares one wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .calibration import NetParams
+from .frame import BROADCAST, Frame, is_multicast
+from .kernel import Simulator
+from .link import HalfLink
+from .stats import NetStats
+
+__all__ = ["Switch"]
+
+
+class _Port:
+    __slots__ = ("index", "out")
+
+    def __init__(self, index: int, out: HalfLink):
+        self.index = index
+        self.out = out
+
+
+class Switch:
+    """An output-queued, store-and-forward Ethernet switch."""
+
+    def __init__(self, sim: Simulator, params: NetParams,
+                 stats: Optional[NetStats] = None, name: str = "sw0"):
+        self.sim = sim
+        self.params = params
+        self.stats = stats if stats is not None else NetStats()
+        self.name = name
+        self._ports: list[_Port] = []
+        self._mac_table: dict[int, int] = {}
+        self._mcast_table: dict[int, set[int]] = {}
+        self.frames_switched = 0
+        self.frames_flooded = 0
+
+    # -- wiring -----------------------------------------------------------
+    def add_port(self, out: HalfLink) -> int:
+        """Register an egress half-link; returns the new port index."""
+        port = _Port(len(self._ports), out)
+        self._ports.append(port)
+        return port.index
+
+    # -- data path ------------------------------------------------------
+    def receive(self, port_idx: int, frame: Frame) -> None:
+        """Ingress entry point, called by the host→switch half link."""
+        self._mac_table[frame.src] = port_idx
+        if frame.kind == "igmp":
+            self._snoop(port_idx, frame)
+            return
+        egress = self._egress_ports(port_idx, frame)
+        self.frames_switched += 1
+        for idx in egress:
+            self.sim.schedule_call(self.params.switch_latency_us,
+                                   self._ports[idx].out.send, frame)
+
+    def _egress_ports(self, ingress: int, frame: Frame) -> list[int]:
+        dst = frame.dst
+        if dst == BROADCAST:
+            return [p.index for p in self._ports if p.index != ingress]
+        if is_multicast(dst):
+            members = self._mcast_table.get(dst)
+            if members is None:
+                # Unregistered group: flood (default switch behaviour).
+                self.frames_flooded += 1
+                return [p.index for p in self._ports if p.index != ingress]
+            return [i for i in sorted(members) if i != ingress]
+        port = self._mac_table.get(dst)
+        if port is None:
+            self.frames_flooded += 1
+            return [p.index for p in self._ports if p.index != ingress]
+        return [port] if port != ingress else []
+
+    # -- IGMP snooping -------------------------------------------------
+    def _snoop(self, port_idx: int, frame: Frame) -> None:
+        op, group = frame.payload
+        if op == "join":
+            self._mcast_table.setdefault(group, set()).add(port_idx)
+        elif op == "leave":
+            members = self._mcast_table.get(group)
+            if members is not None:
+                members.discard(port_idx)
+                if not members:
+                    # Keep the (now empty) entry: the group is registered,
+                    # so traffic to it is dropped rather than flooded.
+                    pass
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown IGMP op {op!r}")
+
+    # -- inspection -------------------------------------------------------
+    def members_of(self, group: int) -> set[int]:
+        """Snooped member ports of a multicast group (empty if none)."""
+        return set(self._mcast_table.get(group, set()))
+
+    def port_of(self, mac: int) -> Optional[int]:
+        return self._mac_table.get(mac)

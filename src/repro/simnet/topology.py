@@ -1,0 +1,113 @@
+"""Cluster topology builders: the paper's two experimental platforms.
+
+:func:`build_cluster` assembles ``n`` hosts connected through either
+
+* ``"hub"``  — one CSMA/CD :class:`~repro.simnet.medium.SharedMedium`
+  (the 3Com SuperStack II hub: one collision domain, natural broadcast), or
+* ``"switch"`` — a store-and-forward :class:`~repro.simnet.switchdev.Switch`
+  with a full-duplex link per host (the HP ProCurve: no collisions,
+  parallel port-to-port paths, IGMP snooping).
+
+Both return a :class:`Cluster` holding the simulator, hosts, shared
+statistics, and a :class:`~repro.simnet.ip.GroupAllocator` for multicast
+group addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .calibration import NetParams, FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH
+from .host import Host
+from .ip import GroupAllocator
+from .kernel import Simulator
+from .link import HalfLink
+from .medium import SharedMedium
+from .stats import NetStats
+from .switchdev import Switch
+
+__all__ = ["Cluster", "build_cluster", "TOPOLOGIES"]
+
+TOPOLOGIES = ("hub", "switch")
+
+
+@dataclass
+class Cluster:
+    """A ready-to-use simulated LAN."""
+
+    sim: Simulator
+    params: NetParams
+    topology: str
+    hosts: list[Host]
+    stats: NetStats
+    groups: GroupAllocator = field(default_factory=GroupAllocator)
+    medium: Optional[SharedMedium] = None
+    switch: Optional[Switch] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.hosts)
+
+    def host(self, addr: int) -> Host:
+        return self.hosts[addr]
+
+
+def build_cluster(n: int, topology: str = "switch",
+                  params: Optional[NetParams] = None,
+                  seed: int = 0) -> Cluster:
+    """Build an ``n``-host cluster on the given topology.
+
+    ``seed`` drives every stochastic element (CSMA/CD backoff, software
+    jitter) through per-host substreams, so a (n, topology, params, seed)
+    tuple is fully reproducible.
+    """
+    if n < 1:
+        raise ValueError(f"cluster needs at least one host, got n={n}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; "
+                         f"expected one of {TOPOLOGIES}")
+    if params is None:
+        params = FAST_ETHERNET_HUB if topology == "hub" else FAST_ETHERNET_SWITCH
+
+    sim = Simulator()
+    stats = NetStats()
+    master = random.Random(seed)
+    hosts = [Host(sim, params, addr=i, stats=stats,
+                  seed=master.randrange(2**63)) for i in range(n)]
+    cluster = Cluster(sim=sim, params=params, topology=topology,
+                      hosts=hosts, stats=stats)
+
+    if topology == "hub":
+        medium = SharedMedium(sim, params,
+                              rng=random.Random(master.randrange(2**63)),
+                              stats=stats)
+        for host in hosts:
+            host.nic.attach_medium(medium)
+        cluster.medium = medium
+    else:
+        switch = Switch(sim, params, stats=stats)
+        for host in hosts:
+            # host -> switch direction: deliver into the switch fabric
+            port_holder: list[int] = []
+            up = HalfLink(sim, params, stats,
+                          deliver=_make_ingress(switch, port_holder),
+                          name=f"{host.name}->sw")
+            # switch -> host direction (forwarding, not a host send)
+            down = HalfLink(sim, params, stats, deliver=host.nic.deliver,
+                            name=f"sw->{host.name}", count_as_send=False)
+            port_holder.append(switch.add_port(down))
+            host.nic.attach_link(up)
+        cluster.switch = switch
+
+    return cluster
+
+
+def _make_ingress(switch: Switch, port_holder: list[int]):
+    """Bind the ingress callback to the port index assigned afterwards."""
+
+    def ingress(frame):
+        switch.receive(port_holder[0], frame)
+
+    return ingress

@@ -1,0 +1,67 @@
+"""Lightweight wire-event tracing (opt-in, for debugging and analysis).
+
+A :class:`Tracer` can be wrapped around a cluster's statistics hooks to
+record a timeline of frame transmissions; tests use it to assert ordering
+properties (e.g. that scouts precede the multicast payload on the wire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .stats import NetStats
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_us: float
+    kind: str          #: frame kind ("data", "scout", "release", "igmp"...)
+    src: int
+    dst: int
+    size: int
+
+
+class Tracer:
+    """Records every frame send passing through a NetStats instance."""
+
+    def __init__(self, sim, stats: NetStats):
+        self.sim = sim
+        self.events: list[TraceEvent] = []
+        self._orig_record: Optional[Callable] = None
+        self._stats = stats
+
+    def install(self) -> "Tracer":
+        """Monkey-patch stats.record_send to also log a TraceEvent.
+
+        The patch captures only (time, kind, size) — src/dst need frame
+        context, so devices that want full tracing call :meth:`note`.
+        """
+        orig = self._stats.record_send
+        self._orig_record = orig
+
+        def wrapped(wire_size: int, kind: str) -> None:
+            self.events.append(TraceEvent(self.sim.now, kind, -1, -1,
+                                          wire_size))
+            orig(wire_size, kind)
+
+        self._stats.record_send = wrapped  # type: ignore[method-assign]
+        return self
+
+    def uninstall(self) -> None:
+        if self._orig_record is not None:
+            self._stats.record_send = self._orig_record  # type: ignore
+            self._orig_record = None
+
+    def note(self, kind: str, src: int, dst: int, size: int) -> None:
+        """Explicitly record an event with full addressing."""
+        self.events.append(TraceEvent(self.sim.now, kind, src, dst, size))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def first_time(self, kind: str) -> Optional[float]:
+        evs = self.of_kind(kind)
+        return evs[0].time_us if evs else None

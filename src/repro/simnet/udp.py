@@ -1,0 +1,186 @@
+"""UDP sockets over the simulated stack — including the paper's two
+delivery disciplines.
+
+A socket operates in one of two modes:
+
+* **buffered** (default) — datagrams arriving with no pending ``recv`` are
+  queued up to ``buffer_bytes``; beyond that they are dropped and counted
+  (``drops_buffer_full``).  This is ordinary BSD-socket behaviour and what
+  the MPI point-to-point layer builds on.
+* **posted-only** (``posted_only=True``) — a datagram is delivered *only*
+  if a receive has already been posted; otherwise it is dropped and
+  counted (``drops_not_posted``).  This is the paper's model of multicast
+  readiness ("only receivers that are ready at the time the message
+  arrives will receive it") and of VIA-style descriptor posting mentioned
+  in its future work.  The multicast collective data path uses this mode,
+  which is why scout synchronization is *necessary* and not just polite.
+
+Send and receive both charge per-datagram software time on the host CPU —
+the dominant term at the paper's message sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from .host import Host
+from .ip import Datagram, is_group_addr
+from .kernel import Event, SimError
+
+__all__ = ["UdpSocket", "SocketClosed"]
+
+
+class SocketClosed(SimError):
+    """Operation on a closed socket."""
+
+
+class UdpSocket:
+    """A simulated UDP socket (see module docstring for the two modes)."""
+
+    def __init__(self, host: Host, port: Optional[int] = None, *,
+                 posted_only: bool = False,
+                 buffer_bytes: Optional[int] = None,
+                 send_cost_us: Optional[float] = None,
+                 recv_cost_us: Optional[float] = None,
+                 mcast_loop: bool = True):
+        self.host = host
+        self.sim = host.sim
+        self.params = host.params
+        self.stats = host.stats
+        self.posted_only = posted_only
+        #: IP_MULTICAST_LOOP: deliver own multicast sends locally
+        self.mcast_loop = mcast_loop
+        # Per-socket software costs let the MPI point-to-point layer pay
+        # TCP-like prices (MPICH ch_p4) while multicast pays UDP prices.
+        self.send_cost_us = (host.params.udp_send_us
+                             if send_cost_us is None else send_cost_us)
+        self.recv_cost_us = (host.params.udp_recv_us
+                             if recv_cost_us is None else recv_cost_us)
+        self.buffer_bytes = (host.params.socket_buffer_bytes
+                             if buffer_bytes is None else buffer_bytes)
+        self.port = host.ipstack.bind(self, port)
+        self._groups: set[int] = set()
+        self._queue: deque[Datagram] = deque()
+        self._queued_bytes = 0
+        self._posted: deque[Event] = deque()
+        self._closed = False
+        self.rx_dropped = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        for group in list(self._groups):
+            self.leave(group)
+        self._closed = True
+        self.host.ipstack.unbind(self.port)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SocketClosed(f"socket :{self.port} on host "
+                               f"{self.host.addr} is closed")
+
+    # -- multicast membership ---------------------------------------------
+    def join(self, group: int) -> None:
+        """Join a multicast group (programs NIC filter + IGMP report)."""
+        self._check_open()
+        if group in self._groups:
+            return
+        self._groups.add(group)
+        self.host.ipstack.join_group(group)
+
+    def leave(self, group: int) -> None:
+        self._check_open()
+        if group not in self._groups:
+            return
+        self._groups.discard(group)
+        self.host.ipstack.leave_group(group)
+
+    def joined(self, group: int) -> bool:
+        return group in self._groups
+
+    # -- send ------------------------------------------------------------
+    def sendto(self, payload, size: int, dst: int, dst_port: int,
+               kind: str = "data") -> Generator:
+        """Send a datagram; completes when handed to the NIC queue.
+
+        Charges ``udp_send_us`` (jittered) on the host CPU, like a
+        ``sendto`` syscall.  Usage: ``yield from sock.sendto(...)``.
+        """
+        self._check_open()
+        cost = self.host.jitter(self.send_cost_us)
+        cost += self.params.per_frame_tx_us * (self.params.frames_for(size) - 1)
+        yield from self.host.cpu.use(cost)
+        dgram = Datagram(src=self.host.addr, src_port=self.port, dst=dst,
+                         dst_port=dst_port, payload=payload, size=size,
+                         kind=kind)
+        self.host.ipstack.send_datagram(dgram, mcast_loop=self.mcast_loop)
+        return dgram
+
+    # -- receive ---------------------------------------------------------
+    def post_recv(self) -> Event:
+        """Post a receive; the event fires with the :class:`Datagram`.
+
+        In posted-only mode this is the "receive descriptor" that must be
+        in place *before* the datagram arrives.
+        """
+        self._check_open()
+        ev = self.sim.event()
+        if self._queue:
+            dgram = self._queue.popleft()
+            self._queued_bytes -= dgram.size
+            ev.succeed(dgram)
+        else:
+            self._posted.append(ev)
+        return ev
+
+    def cancel_recv(self, ev: Event) -> None:
+        """Withdraw a posted receive that has not fired."""
+        try:
+            self._posted.remove(ev)
+        except ValueError:
+            pass
+
+    def recv(self, timeout: Optional[float] = None) -> Generator:
+        """Blocking receive; returns a Datagram, or None on timeout.
+
+        Charges ``udp_recv_us`` on the host CPU once a datagram arrives
+        (the syscall + copy cost).  Usage: ``d = yield from sock.recv()``.
+        """
+        ev = self.post_recv()
+        if timeout is None:
+            dgram = yield ev
+        else:
+            timer = self.sim.timeout(timeout)
+            fired = yield self.sim.any_of([ev, timer])
+            if ev not in fired:
+                self.cancel_recv(ev)
+                return None
+            dgram = ev.value
+        yield from self.host.cpu.use(self.host.jitter(self.recv_cost_us))
+        self.stats.datagrams_delivered += 1
+        return dgram
+
+    # -- delivery from the IP stack ---------------------------------------
+    def _deliver(self, dgram: Datagram) -> None:
+        if self._closed:
+            self.stats.drops_no_listener += 1
+            return
+        if self._posted:
+            self._posted.popleft().succeed(dgram)
+            return
+        if self.posted_only:
+            self.rx_dropped += 1
+            self.stats.drops_not_posted += 1
+            return
+        if self._queued_bytes + dgram.size > self.buffer_bytes:
+            self.rx_dropped += 1
+            self.stats.drops_buffer_full += 1
+            return
+        self._queue.append(dgram)
+        self._queued_bytes += dgram.size
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)

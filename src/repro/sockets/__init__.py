@@ -1,0 +1,20 @@
+"""``repro.sockets`` — the paper's algorithms over real UDP multicast.
+
+Functional-fidelity backend: the same scout-synchronized broadcast and
+barrier protocols, running on genuine BSD sockets with IP multicast on
+the loopback interface, driven by one thread per rank.  Performance
+numbers from this backend are meaningless (Python threads + loopback);
+correctness and ordering are what it validates.  See DESIGN.md §2.
+"""
+
+from .cluster import allocate_group, multicast_available, run_threads
+from .comm import RealComm
+from .framing import Kind, Message, pack, unpack
+from .transport import (LOOPBACK, RealEndpoint, TransportTimeout,
+                        make_mcast_socket)
+
+__all__ = [
+    "Kind", "LOOPBACK", "Message", "RealComm", "RealEndpoint",
+    "TransportTimeout", "allocate_group", "make_mcast_socket",
+    "multicast_available", "pack", "run_threads", "unpack",
+]

@@ -1,0 +1,106 @@
+"""Thread-per-rank cluster over real loopback sockets.
+
+:func:`run_threads` is the real-socket analogue of
+:func:`repro.runtime.run_spmd`: it builds ``n`` endpoints (unicast socket
+per rank + a shared multicast group on 239.x.y.z), wires up the peer
+port table, starts one thread per rank running ``fn(comm)``, and
+collects return values (re-raising the first rank exception).
+
+:func:`multicast_available` probes whether the environment permits UDP
+multicast on loopback — tests skip gracefully where it does not (some
+containers and CI sandboxes drop IGMP).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+from typing import Any, Callable, Optional
+
+from .comm import RealComm
+from .transport import LOOPBACK, RealEndpoint, make_mcast_socket
+
+__all__ = ["run_threads", "multicast_available", "allocate_group"]
+
+
+def allocate_group(rng: Optional[random.Random] = None) -> tuple[str, int]:
+    """A fresh (group address, port) pair in the ad-hoc block 239.x.y.z."""
+    rng = rng or random.Random(os.getpid() ^ random.randrange(2 ** 30))
+    group = (f"239.{rng.randrange(1, 255)}.{rng.randrange(1, 255)}."
+             f"{rng.randrange(1, 255)}")
+    port = rng.randrange(30000, 60000)
+    return group, port
+
+
+def multicast_available(timeout_s: float = 2.0) -> bool:
+    """Probe: can this host loop a multicast datagram back to itself?"""
+    group, port = allocate_group()
+    rx = tx = None
+    try:
+        rx = make_mcast_socket(group, port)
+        rx.settimeout(timeout_s)
+        tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
+                           socket.IPPROTO_UDP)
+        tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_IF,
+                      socket.inet_aton(LOOPBACK))
+        tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+        tx.sendto(b"probe", (group, port))
+        data, _ = rx.recvfrom(64)
+        return data == b"probe"
+    except OSError:
+        return False
+    finally:
+        for sock in (rx, tx):
+            if sock is not None:
+                sock.close()
+
+
+def run_threads(n: int, fn: Callable[[RealComm], Any],
+                timeout_s: float = 30.0,
+                seed: Optional[int] = None) -> list[Any]:
+    """Run ``fn(comm)`` on ``n`` threads; returns per-rank results.
+
+    The first exception raised by any rank is re-raised in the caller
+    (after all threads have been joined), so test failures surface
+    exactly once.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one rank, got {n}")
+    rng = random.Random(seed)
+    group, mcast_port = allocate_group(rng)
+    endpoints = [RealEndpoint(rank, group, mcast_port,
+                              timeout_s=timeout_s) for rank in range(n)]
+    ports = {ep.rank: ep.uni_port for ep in endpoints}
+    for ep in endpoints:
+        ep.peer_ports = dict(ports)
+
+    results: list[Any] = [None] * n
+    errors: list[tuple[int, BaseException]] = []
+    start_gate = threading.Barrier(n)
+
+    def body(rank: int) -> None:
+        comm = RealComm(endpoints[rank], rank, n)
+        try:
+            start_gate.wait(timeout=timeout_s)
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=body, args=(rank,),
+                                name=f"rank{rank}", daemon=True)
+               for rank in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout_s + 5.0)
+    alive = [t.name for t in threads if t.is_alive()]
+    for ep in endpoints:
+        ep.close()
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    if alive:
+        raise RuntimeError(f"ranks did not finish: {alive}")
+    return results

@@ -1,0 +1,315 @@
+"""The paper's collective algorithms over *real* UDP multicast sockets.
+
+:class:`RealComm` mirrors the simulator communicator's API, minus the
+``yield from`` (threads block for real):
+
+* point-to-point ``send``/``recv`` with tag matching (UDP unicast);
+* ``bcast`` with the same four implementations — ``binary``, ``linear``
+  (scout-synchronized multicast), ``p2p`` (binomial tree baseline) and
+  ``ack`` (PVM-style);
+* ``barrier`` as ``mcast`` (scout reduction + multicast release) or
+  ``p2p`` (MPICH three-phase);
+* ``gather``/``reduce``/``allreduce`` over the binomial tree (used by
+  the examples).
+
+On loopback the kernel buffers multicast datagrams for every joined
+socket, so the *loss* mode of the paper cannot be demonstrated here
+(that is what the simulator's posted-only sockets are for); what this
+backend validates is protocol correctness — matching, sequencing,
+ordering — against a real network stack.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Optional, Sequence
+
+from ..mpi.collective.barrier_p2p import largest_power_of_two_leq
+from ..mpi.collective.bcast_p2p import binomial_children, binomial_parent
+from .framing import Kind, Message
+from .transport import RealEndpoint
+
+__all__ = ["RealComm"]
+
+
+class RealComm:
+    """One thread's communicator view in a :class:`ThreadCluster`."""
+
+    def __init__(self, endpoint: RealEndpoint, rank: int, size: int,
+                 ctx: int = 0):
+        self.endpoint = endpoint
+        self.rank = rank
+        self.size = size
+        self.ctx = ctx
+        self._seq = 0          #: collective sequence (safe-code invariant)
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self.endpoint.send_to_rank(dest, Message(
+            kind=Kind.P2P, ctx=self.ctx, src=self.rank, tag=tag,
+            payload=obj))
+
+    def recv(self, source: int = -1, tag: int = -1,
+             timeout_s: Optional[float] = None) -> Any:
+        def want(m: Message) -> bool:
+            return (m.kind == Kind.P2P and m.ctx == self.ctx
+                    and (source == -1 or m.src == source)
+                    and (tag == -1 or m.tag == tag))
+
+        return self.endpoint.recv_match(want, timeout_s).payload
+
+    def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
+                 source: int = -1, recvtag: int = -1) -> Any:
+        # UDP sends never block on the receiver, so send-then-recv is
+        # deadlock-free even for symmetric exchanges.
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # scout helpers
+    # ------------------------------------------------------------------
+    def _send_scout(self, dst: int, seq: int, kind: int = Kind.SCOUT):
+        self.endpoint.send_to_rank(dst, Message(
+            kind=kind, ctx=self.ctx, src=self.rank, tag=seq, payload=None))
+
+    def _wait_scouts(self, srcs: set[int], seq: int,
+                     kind: int = Kind.SCOUT,
+                     timeout_s: Optional[float] = None) -> None:
+        remaining = set(srcs)
+        while remaining:
+            msg = self.endpoint.recv_match(
+                lambda m: (m.kind == kind and m.ctx == self.ctx
+                           and m.tag == seq and m.src in remaining),
+                timeout_s)
+            remaining.discard(msg.src)
+
+    def _scout_gather_binary(self, seq: int, root: int) -> None:
+        rel = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                self._send_scout(((rel & ~mask) + root) % self.size, seq)
+                return
+            child_rel = rel | mask
+            if child_rel < self.size:
+                self._wait_scouts({(child_rel + root) % self.size}, seq)
+            mask <<= 1
+
+    def _scout_gather_linear(self, seq: int, root: int) -> None:
+        if self.rank == root:
+            self._wait_scouts(
+                {r for r in range(self.size) if r != root}, seq)
+        else:
+            self._send_scout(root, seq)
+
+    # ------------------------------------------------------------------
+    # multicast primitives
+    # ------------------------------------------------------------------
+    def _send_mdata(self, obj: Any, seq: int,
+                    kind: int = Kind.MDATA) -> None:
+        self.endpoint.send_mcast(Message(
+            kind=kind, ctx=self.ctx, src=self.rank, tag=seq, payload=obj))
+
+    def _recv_mdata(self, seq: int, root: int,
+                    kind: int = Kind.MDATA) -> Any:
+        """Receive the multicast for ``seq``, discarding stale copies
+        (our own loopback echo, retransmissions of earlier sequences)."""
+        msg = self.endpoint.recv_mcast(
+            lambda m: (m.kind == kind and m.ctx == self.ctx
+                       and m.tag == seq and m.src == root))
+        return msg.payload
+
+    # ------------------------------------------------------------------
+    # broadcast
+    # ------------------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0,
+              impl: str = "binary") -> Any:
+        """Broadcast with the selected implementation.
+
+        ``impl`` ∈ {"binary", "linear", "p2p", "ack"}.
+        """
+        self._check_rank(root)
+        self._seq += 1
+        seq = self._seq
+        if self.size == 1:
+            return obj
+        if impl == "binary":
+            return self._bcast_scouted(obj, root, seq,
+                                       self._scout_gather_binary)
+        if impl == "linear":
+            return self._bcast_scouted(obj, root, seq,
+                                       self._scout_gather_linear)
+        if impl == "p2p":
+            return self._bcast_p2p(obj, root, seq)
+        if impl == "ack":
+            return self._bcast_ack(obj, root, seq)
+        raise ValueError(f"unknown bcast impl {impl!r}")
+
+    def _bcast_scouted(self, obj: Any, root: int, seq: int,
+                       gather: Callable[[int, int], None]) -> Any:
+        if self.rank == root:
+            gather(seq, root)
+            self._send_mdata(obj, seq)
+            return obj
+        # Real kernels buffer for joined sockets, so "posting" is
+        # implicit; the scout still tells the root we are inside the
+        # collective, which is what the paper's protocol requires.
+        gather(seq, root)
+        return self._recv_mdata(seq, root)
+
+    def _bcast_p2p(self, obj: Any, root: int, seq: int) -> Any:
+        rel = (self.rank - root) % self.size
+        tag = -1000 - seq          # collective-internal tag space
+        if rel != 0:
+            parent = (binomial_parent(rel) + root) % self.size
+            obj = self.recv(source=parent, tag=tag)
+        for child in binomial_children(rel, self.size):
+            self.send(obj, (child + root) % self.size, tag)
+        return obj
+
+    def _bcast_ack(self, obj: Any, root: int, seq: int,
+                   resend_interval_s: float = 0.05,
+                   max_resends: int = 40) -> Any:
+        from .transport import TransportTimeout
+
+        if self.rank == root:
+            self._send_mdata(obj, seq)
+            missing = {r for r in range(self.size) if r != root}
+            resends = 0
+            while missing:
+                try:
+                    self._wait_scouts(set(missing), seq, kind=Kind.ACK,
+                                      timeout_s=resend_interval_s)
+                    missing.clear()
+                except TransportTimeout:
+                    resends += 1
+                    if resends > max_resends:
+                        raise RuntimeError(
+                            f"ack bcast gave up; missing {missing}")
+                    self._send_mdata(obj, seq)
+                    # Re-derive who is still missing on the next wait:
+                    # acks already consumed are matched out of the stash.
+                    missing = {r for r in missing
+                               if not self._ack_seen(r, seq)}
+            return obj
+        data = self._recv_mdata(seq, root)
+        self._send_scout(root, seq, kind=Kind.ACK)
+        return data
+
+    def _ack_seen(self, rank: int, seq: int) -> bool:
+        """Non-blocking: has ``rank``'s ack already been stashed?"""
+        from .transport import TransportTimeout
+
+        try:
+            self.endpoint.recv_match(
+                lambda m: (m.kind == Kind.ACK and m.ctx == self.ctx
+                           and m.tag == seq and m.src == rank),
+                timeout_s=0.001)
+            return True
+        except TransportTimeout:
+            return False
+
+    # ------------------------------------------------------------------
+    # barrier
+    # ------------------------------------------------------------------
+    def barrier(self, impl: str = "mcast") -> None:
+        """``impl`` ∈ {"mcast", "p2p"}."""
+        self._seq += 1
+        seq = self._seq
+        if self.size == 1:
+            return
+        if impl == "mcast":
+            root = 0
+            if self.rank == root:
+                self._scout_gather_binary(seq, root)
+                self._send_mdata(None, seq, kind=Kind.RELEASE)
+            else:
+                self._scout_gather_binary(seq, root)
+                self._recv_mdata(seq, root, kind=Kind.RELEASE)
+            return
+        if impl == "p2p":
+            self._barrier_p2p(seq)
+            return
+        raise ValueError(f"unknown barrier impl {impl!r}")
+
+    def _barrier_p2p(self, seq: int) -> None:
+        tag = -2000 - seq
+        n, rank = self.size, self.rank
+        k = largest_power_of_two_leq(n)
+        if rank >= k:
+            self.send(None, rank - k, tag)
+            self.recv(source=rank - k, tag=tag - 1)
+            return
+        if rank < n - k:
+            self.recv(source=rank + k, tag=tag)
+        mask = 1
+        while mask < k:
+            partner = rank ^ mask
+            self.send(None, partner, tag)
+            self.recv(source=partner, tag=tag)
+            mask <<= 1
+        if rank < n - k:
+            self.send(None, rank + k, tag - 1)
+
+    # ------------------------------------------------------------------
+    # tree collectives used by the examples
+    # ------------------------------------------------------------------
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        self._check_rank(root)
+        self._seq += 1
+        tag = -3000 - self._seq
+        rel = (self.rank - root) % self.size
+        collected = {self.rank: obj}
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                self.send(collected, ((rel & ~mask) + root) % self.size,
+                          tag)
+                return None
+            src_rel = rel | mask
+            if src_rel < self.size:
+                part = self.recv(source=(src_rel + root) % self.size,
+                                 tag=tag)
+                collected.update(part)
+            mask <<= 1
+        return [collected[r] for r in range(self.size)]
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any:
+        self._check_rank(root)
+        self._seq += 1
+        tag = -4000 - self._seq
+        rel = (self.rank - root) % self.size
+        acc = copy.copy(obj)
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                self.send(acc, ((rel & ~mask) + root) % self.size, tag)
+                return None
+            src_rel = rel | mask
+            if src_rel < self.size:
+                incoming = self.recv(
+                    source=(src_rel + root) % self.size, tag=tag)
+                acc = op(acc, incoming)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any],
+                  bcast_impl: str = "binary") -> Any:
+        total = self.reduce(obj, op, root=0)
+        return self.bcast(total, root=0, impl=bcast_impl)
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range "
+                             f"(size {self.size})")

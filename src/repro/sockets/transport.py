@@ -1,0 +1,132 @@
+"""Real-socket endpoint: one UDP unicast socket + one multicast socket.
+
+Provides the two receive paths the algorithms need, each with a stash so
+out-of-order arrivals (a scout for a future sequence, a stale multicast
+retransmission) are never lost or mis-delivered:
+
+* :meth:`RealEndpoint.recv_match` — blocking match on the unicast socket
+  by (kind, ctx, src, tag) with wildcards;
+* :meth:`RealEndpoint.recv_mcast` — blocking match on the multicast
+  socket by (kind, ctx, seq, src).
+
+Everything is plain blocking BSD sockets with timeouts — this backend
+exists to validate the protocol logic against a real kernel network
+stack (DESIGN.md §2), not to measure performance.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Callable, Optional
+
+from .framing import MAX_DGRAM, Message, pack, unpack
+
+__all__ = ["RealEndpoint", "make_mcast_socket", "TransportTimeout",
+           "LOOPBACK"]
+
+LOOPBACK = "127.0.0.1"
+
+#: wildcard for match predicates
+ANY = -1
+
+
+class TransportTimeout(RuntimeError):
+    """A blocking receive exceeded its deadline."""
+
+
+def make_mcast_socket(group: str, port: int) -> socket.socket:
+    """A socket joined to ``group``:``port`` on the loopback interface."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
+                         socket.IPPROTO_UDP)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(("", port))
+    mreq = struct.pack("4s4s", socket.inet_aton(group),
+                       socket.inet_aton(LOOPBACK))
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+    return sock
+
+
+class RealEndpoint:
+    """Per-rank sockets + matching stashes (used from one thread only)."""
+
+    def __init__(self, rank: int, group: str, mcast_port: int,
+                 timeout_s: float = 10.0):
+        self.rank = rank
+        self.group = group
+        self.mcast_port = mcast_port
+        self.timeout_s = timeout_s
+        self.uni = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
+                                 socket.IPPROTO_UDP)
+        self.uni.bind((LOOPBACK, 0))
+        self.uni_port = self.uni.getsockname()[1]
+        self.mcast = make_mcast_socket(group, mcast_port)
+        self.tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
+                                socket.IPPROTO_UDP)
+        self.tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_IF,
+                           socket.inet_aton(LOOPBACK))
+        self.tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+        self.tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL, 0)
+        self._uni_stash: list[Message] = []
+        self._mcast_stash: list[Message] = []
+        self.peer_ports: dict[int, int] = {}
+        self.closed = False
+
+    # -- sending -----------------------------------------------------------
+    def send_to_rank(self, dst_rank: int, msg: Message) -> None:
+        port = self.peer_ports[dst_rank]
+        self.tx.sendto(pack(msg), (LOOPBACK, port))
+
+    def send_mcast(self, msg: Message) -> None:
+        self.tx.sendto(pack(msg), (self.group, self.mcast_port))
+
+    # -- receiving -----------------------------------------------------------
+    def recv_match(self, want: Callable[[Message], bool],
+                   timeout_s: Optional[float] = None) -> Message:
+        """Blocking match on the unicast socket."""
+        return self._recv(self.uni, self._uni_stash, want, timeout_s)
+
+    def recv_mcast(self, want: Callable[[Message], bool],
+                   timeout_s: Optional[float] = None) -> Message:
+        """Blocking match on the multicast socket."""
+        return self._recv(self.mcast, self._mcast_stash, want, timeout_s)
+
+    def _recv(self, sock: socket.socket, stash: list[Message],
+              want: Callable[[Message], bool],
+              timeout_s: Optional[float]) -> Message:
+        for i, msg in enumerate(stash):
+            if want(msg):
+                return stash.pop(i)
+        deadline = timeout_s if timeout_s is not None else self.timeout_s
+        import time
+
+        end = time.monotonic() + deadline
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout(
+                    f"rank {self.rank}: no matching datagram within "
+                    f"{deadline:.1f}s ({len(stash)} stashed)")
+            sock.settimeout(remaining)
+            try:
+                raw, _addr = sock.recvfrom(MAX_DGRAM + 64)
+            except socket.timeout:
+                continue
+            try:
+                msg = unpack(raw)
+            except ValueError:
+                continue  # stray datagram on a reused port: ignore
+            if want(msg):
+                return msg
+            stash.append(msg)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for sock in (self.uni, self.mcast, self.tx):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - platform quirk
+                pass

@@ -1,0 +1,69 @@
+"""Every example must run clean — examples are documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+def test_quickstart_runs():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "mcast-binary" in proc.stdout
+    assert "p2p-binomial" in proc.stdout
+
+
+@pytest.mark.slow
+def test_compare_broadcast_runs():
+    proc = _run("compare_broadcast.py", "--reps", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "beats mpich from" in proc.stdout
+    assert "hub" in proc.stdout and "switch" in proc.stdout
+
+
+@pytest.mark.slow
+def test_barrier_scaling_runs():
+    proc = _run("barrier_scaling.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "speedup" in proc.stdout
+    # 8 process counts = 8 table rows with an 'x' speedup column
+    assert proc.stdout.count("x") >= 8
+
+
+def test_ordered_groups_runs():
+    proc = _run("ordered_groups.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "ORDER VIOLATION" not in proc.stdout
+    assert "unsafe schedule rejected" in proc.stdout
+
+
+def test_wire_timeline_runs():
+    proc = _run("wire_timeline.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "mcast-data" in proc.stdout
+    assert "scout" in proc.stdout
+
+
+@pytest.mark.slow
+def test_parallel_jacobi_runs():
+    proc = _run("parallel_jacobi.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "numerics identical" in proc.stdout
+
+
+@pytest.mark.realnet
+def test_real_multicast_runs():
+    proc = _run("real_multicast.py")
+    assert proc.returncode == 0, proc.stderr
+    # either it validated, or it politely skipped
+    assert ("validated against the real network stack" in proc.stdout
+            or "skipping demo" in proc.stdout)

@@ -1,0 +1,127 @@
+"""Two load-bearing properties, tested against reference models.
+
+1. **FIFO per path** — both the hub and the switch must deliver frames
+   of one (src, dst) pair in send order; MPI's non-overtaking guarantee
+   (and hence all collective matching) rests on this.
+2. **split correctness** — ``Communicator.split`` must agree with a pure
+   Python reference for arbitrary colors and keys.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import run_spmd
+from repro.simnet import build_cluster, quiet
+from repro.simnet.calibration import (FAST_ETHERNET_HUB,
+                                      FAST_ETHERNET_SWITCH)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=20, **COMMON)
+@given(
+    topology=st.sampled_from(["hub", "switch"]),
+    sizes=st.lists(st.integers(min_value=0, max_value=4000),
+                   min_size=1, max_size=15),
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_hosts=st.integers(min_value=2, max_value=5),
+)
+def test_fifo_per_src_dst_path(topology, sizes, seed, n_hosts):
+    """Datagrams from host 0 to host 1 arrive in send order, regardless
+    of fragmentation, contention from other hosts, or topology."""
+    params = quiet(FAST_ETHERNET_HUB if topology == "hub"
+                   else FAST_ETHERNET_SWITCH)
+    cl = build_cluster(n_hosts, topology, params=params, seed=seed)
+    sim = cl.sim
+    rx = cl.hosts[1].socket(100)
+    tx = cl.hosts[0].socket(101)
+    got = []
+
+    def sender():
+        for i, size in enumerate(sizes):
+            yield from tx.sendto(i, size, dst=1, dst_port=100)
+
+    def receiver():
+        for _ in sizes:
+            d = yield from rx.recv()
+            got.append(d.payload)
+
+    def noise(host):
+        sock = host.socket(102)
+        for j in range(3):
+            yield from sock.sendto(("noise", j), 500, dst=0, dst_port=103)
+
+    sim.process(sender())
+    sim.process(receiver())
+    for host in cl.hosts[2:]:
+        sim.process(noise(host))
+    # a sink for the noise so it isn't counted as drops
+    cl.hosts[0].socket(103)
+    sim.run()
+    assert got == list(range(len(sizes)))
+
+
+def _reference_split(n, colors, keys):
+    """Pure-Python model of MPI_Comm_split."""
+    out = {}
+    for color in {c for c in colors if c is not None}:
+        members = sorted((keys[r], r) for r in range(n)
+                         if colors[r] == color)
+        ranks = [r for _k, r in members]
+        for new_rank, old_rank in enumerate(ranks):
+            out[old_rank] = (color, new_rank, ranks)
+    return out
+
+
+@settings(max_examples=15, **COMMON)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    colors_raw=st.lists(st.integers(min_value=-1, max_value=2),
+                        min_size=6, max_size=6),
+    keys=st.lists(st.integers(min_value=-5, max_value=5),
+                  min_size=6, max_size=6),
+)
+def test_split_matches_reference(n, colors_raw, keys):
+    colors = [None if c == -1 else c for c in colors_raw[:n]]
+    reference = _reference_split(n, colors, keys)
+
+    def main(env):
+        sub = yield from env.comm.split(color=colors[env.rank],
+                                        key=keys[env.rank])
+        if sub is None:
+            return None
+        members = yield from sub.allgather(env.rank)
+        return (colors[env.rank], sub.rank, members)
+
+    result = run_spmd(n, main, params=quiet(FAST_ETHERNET_SWITCH))
+    for rank in range(n):
+        if colors[rank] is None:
+            assert result.returns[rank] is None
+        else:
+            assert result.returns[rank] == reference[rank]
+
+
+@settings(max_examples=10, **COMMON)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    depth=st.integers(min_value=1, max_value=3),
+)
+def test_nested_dups_all_usable(n, depth):
+    """Arbitrarily nested duplicates remain independent and functional."""
+
+    def main(env):
+        comms = [env.comm]
+        for _ in range(depth):
+            comms.append((yield from comms[-1].dup()))
+        totals = []
+        for c in comms:
+            from repro.mpi import SUM
+
+            totals.append((yield from c.allreduce(1, SUM)))
+        return totals
+
+    result = run_spmd(n, main, params=quiet(FAST_ETHERNET_SWITCH))
+    assert result.returns == [[n] * (depth + 1)] * n

@@ -1,0 +1,124 @@
+"""IP fragmentation math and the host-CPU resource."""
+
+import pytest
+
+from repro.simnet.calibration import FAST_ETHERNET_HUB, NetParams, quiet
+from repro.simnet.ip import Datagram, GroupAllocator, fragment_sizes
+from repro.simnet.kernel import Simulator
+from repro.simnet.resource import Resource
+from repro.simnet.kernel import SimError
+
+PARAMS = quiet(FAST_ETHERNET_HUB)
+
+
+# ---------------------------------------------------------------- fragmentation
+def test_frames_for_matches_paper_formula():
+    """paper: floor(M/T)+1 frames for M bytes (T = usable frame payload)."""
+    p = PARAMS
+    assert p.frames_for(0) == 1
+    assert p.frames_for(1) == 1
+    assert p.frames_for(p.max_udp_payload) == 1
+    assert p.frames_for(p.max_udp_payload + 1) == 2
+    assert p.frames_for(5000) == 4
+
+
+def test_fragment_sizes_cover_payload_exactly():
+    p = PARAMS
+    for m in (0, 1, 100, 1472, 1473, 3000, 5000, 20000):
+        sizes = fragment_sizes(p, m)
+        user = sum(sizes) - p.ip_header * len(sizes) - p.udp_header
+        assert user == m
+        assert len(sizes) == p.frames_for(m)
+        assert all(s <= p.mtu for s in sizes)
+
+
+def test_fragment_sizes_first_carries_udp_header():
+    p = PARAMS
+    sizes = fragment_sizes(p, 2000)
+    assert sizes[0] == p.mtu                       # full first fragment
+    assert sizes[1] == (2000 - p.max_udp_payload) + p.ip_header
+
+
+def test_datagram_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Datagram(src=0, src_port=1, dst=1, dst_port=2, payload=None,
+                 size=-1)
+
+
+def test_group_allocator_unique():
+    alloc = GroupAllocator()
+    groups = {alloc.allocate() for _ in range(100)}
+    assert len(groups) == 100
+
+
+def test_frames_for_rejects_negative():
+    with pytest.raises(ValueError):
+        PARAMS.frames_for(-1)
+
+
+def test_netparams_quiet_removes_jitter():
+    q = quiet(NetParams(jitter_sigma=0.5))
+    assert q.jitter_sigma == 0.0
+
+
+# ---------------------------------------------------------------- resource
+def test_resource_serializes_holders():
+    sim = Simulator()
+    cpu = Resource(sim)
+    spans = []
+
+    def worker(tag):
+        start_wait = sim.now
+        yield from cpu.use(10.0)
+        spans.append((tag, start_wait, sim.now))
+
+    for tag in range(3):
+        sim.process(worker(tag))
+    sim.run()
+    ends = [end for _tag, _s, end in spans]
+    assert ends == [10.0, 20.0, 30.0]      # strict FIFO serialization
+    assert [t for t, _, _ in spans] == [0, 1, 2]
+
+
+def test_resource_release_without_hold_is_error():
+    sim = Simulator()
+    cpu = Resource(sim)
+    with pytest.raises(SimError):
+        cpu.release()
+
+
+def test_resource_released_on_exception():
+    """An exception thrown into a holder mid-``use`` must not leak the
+    resource (the ``finally`` in :meth:`Resource.use` releases)."""
+    from repro.simnet.kernel import Interrupt
+
+    sim = Simulator()
+    cpu = Resource(sim)
+
+    def victim():
+        try:
+            yield from cpu.use(100.0)
+        except Interrupt:
+            pass
+
+    def good():
+        yield sim.timeout(6.0)
+        yield from cpu.use(2.0)
+        return sim.now
+
+    vproc = sim.process(victim())
+    sim.schedule_call(5.0, vproc.interrupt, "evict")
+    proc = sim.process(good())
+    sim.run()
+    assert proc.ok and proc.value == pytest.approx(8.0)
+    assert not cpu.held
+
+
+def test_resource_queue_depth():
+    sim = Simulator()
+    cpu = Resource(sim)
+    cpu.acquire()
+    cpu.acquire()
+    cpu.acquire()
+    assert cpu.queue_depth == 2
+    assert cpu.held

@@ -1,0 +1,307 @@
+"""MPICH-style (p2p) collective algorithm correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MAXLOC, MIN, PROD, SUM
+from repro.mpi.collective.barrier_p2p import (barrier_message_count,
+                                              largest_power_of_two_leq)
+from repro.mpi.collective.bcast_p2p import (binomial_children,
+                                            binomial_parent)
+from repro.runtime import run_spmd
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+SIZES = [1, 2, 3, 4, 5, 7, 8, 9]
+
+
+# ---------------------------------------------------------------- tree shape
+def test_binomial_tree_matches_paper_figure2():
+    """7 processes: root 0 sends to 4, 2, 1; 2 -> 3; 4 -> 6, 5."""
+    assert binomial_children(0, 7) == [4, 2, 1]
+    assert binomial_children(2, 7) == [3]
+    assert binomial_children(4, 7) == [6, 5]
+    assert binomial_children(1, 7) == []
+    assert binomial_parent(3) == 2
+    assert binomial_parent(5) == 4
+    assert binomial_parent(4) == 0
+
+
+def test_binomial_tree_is_a_spanning_tree():
+    for n in range(2, 33):
+        edges = {(binomial_parent(r), r) for r in range(1, n)}
+        assert len(edges) == n - 1
+        children = {c for _p, c in edges}
+        assert children == set(range(1, n))
+        for p, _c in edges:
+            assert 0 <= p < n
+
+
+def test_largest_power_of_two():
+    assert largest_power_of_two_leq(1) == 1
+    assert largest_power_of_two_leq(7) == 4
+    assert largest_power_of_two_leq(8) == 8
+    assert largest_power_of_two_leq(9) == 8
+    with pytest.raises(ValueError):
+        largest_power_of_two_leq(0)
+
+
+def test_barrier_message_count_formula():
+    # paper: 2(N-K) + K log2 K
+    assert barrier_message_count(7) == 2 * 3 + 4 * 2
+    assert barrier_message_count(8) == 8 * 3
+    assert barrier_message_count(9) == 2 * 1 + 8 * 3
+
+
+# ---------------------------------------------------------------- bcast
+@pytest.mark.parametrize("n", SIZES)
+def test_bcast_binomial_delivers_everywhere(n):
+    def main(env):
+        obj = {"v": 42} if env.rank == 0 else None
+        obj = yield from env.comm.bcast(obj, root=0)
+        return obj["v"]
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [42] * n
+
+
+@pytest.mark.parametrize("root", [0, 1, 3, 6])
+def test_bcast_nonzero_root(root):
+    def main(env):
+        obj = "payload" if env.rank == root else None
+        obj = yield from env.comm.bcast(obj, root=root)
+        return obj
+
+    result = run_spmd(7, main, params=QUIET)
+    assert result.returns == ["payload"] * 7
+
+
+def test_bcast_linear_impl_selectable():
+    def main(env):
+        env.comm.use_collectives(bcast="p2p-linear")
+        obj = env.rank if env.rank == 0 else None
+        obj = yield from env.comm.bcast(obj, root=0)
+        return obj
+
+    result = run_spmd(5, main, params=QUIET)
+    assert result.returns == [0] * 5
+
+
+# ---------------------------------------------------------------- barrier
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_synchronizes(n):
+    """No rank may leave the barrier before the last rank has entered."""
+
+    def main(env):
+        yield env.sim.timeout(100.0 * env.rank)   # staggered entry
+        entered = env.sim.now
+        yield from env.comm.barrier()
+        left = env.sim.now
+        return (entered, left)
+
+    result = run_spmd(n, main, params=QUIET)
+    last_entry = max(e for e, _l in result.returns)
+    for _entered, left in result.returns:
+        assert left >= last_entry
+
+
+# ---------------------------------------------------------------- reduce & co
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(n):
+    def main(env):
+        total = yield from env.comm.reduce(env.rank + 1, SUM, root=0)
+        return total
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns[0] == n * (n + 1) // 2
+    assert all(r is None for r in result.returns[1:])
+
+
+def test_reduce_respects_operand_order():
+    """Non-commutative op: operands must combine in rank order."""
+    concat = SUM  # string + is associative, not commutative
+
+    def main(env):
+        out = yield from env.comm.reduce(str(env.rank), concat, root=0)
+        return out
+
+    result = run_spmd(6, main, params=QUIET)
+    assert result.returns[0] == "012345"
+
+
+@pytest.mark.parametrize("op,expect", [
+    (MAX, 8), (MIN, 0), (PROD, 0),
+])
+def test_reduce_various_ops(op, expect):
+    def main(env):
+        return (yield from env.comm.reduce(env.rank, op, root=0))
+
+    result = run_spmd(9, main, params=QUIET)
+    assert result.returns[0] == expect
+
+
+def test_maxloc_finds_rank():
+    def main(env):
+        value = 100 - abs(env.rank - 3)     # peak at rank 3
+        return (yield from env.comm.reduce((value, env.rank), MAXLOC,
+                                           root=0))
+
+    result = run_spmd(7, main, params=QUIET)
+    assert result.returns[0] == (100, 3)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce(n):
+    def main(env):
+        return (yield from env.comm.allreduce(env.rank, SUM))
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [n * (n - 1) // 2] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(n):
+    def main(env):
+        return (yield from env.comm.gather(env.rank * 10, root=0))
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns[0] == [r * 10 for r in range(n)]
+    assert all(r is None for r in result.returns[1:])
+
+
+def test_gather_nonzero_root():
+    def main(env):
+        return (yield from env.comm.gather(chr(65 + env.rank), root=2))
+
+    result = run_spmd(5, main, params=QUIET)
+    assert result.returns[2] == ["A", "B", "C", "D", "E"]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(n):
+    def main(env):
+        objs = [f"item{r}" for r in range(n)] if env.rank == 0 else None
+        return (yield from env.comm.scatter(objs, root=0))
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [f"item{r}" for r in range(n)]
+
+
+def test_scatter_wrong_length_raises():
+    def main(env):
+        objs = ["only-one"] if env.rank == 0 else None
+        with pytest.raises(ValueError):
+            yield from env.comm.scatter(objs, root=0)
+
+    # Other ranks would block forever; bound the run.
+    run_spmd(3, main, params=QUIET, max_sim_us=1e6)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    def main(env):
+        return (yield from env.comm.allgather(env.rank ** 2))
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [[r * r for r in range(n)]] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_alltoall(n):
+    def main(env):
+        objs = [(env.rank, dst) for dst in range(n)]
+        return (yield from env.comm.alltoall(objs))
+
+    result = run_spmd(n, main, params=QUIET)
+    for r in range(n):
+        assert result.returns[r] == [(src, r) for src in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scan(n):
+    def main(env):
+        return (yield from env.comm.scan(env.rank + 1, SUM))
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [sum(range(1, r + 2)) for r in range(n)]
+
+
+# ---------------------------------------------------------------- buffers
+def test_Bcast_numpy():
+    def main(env):
+        buf = (np.arange(50, dtype=np.float64) if env.rank == 0
+               else np.empty(50, dtype=np.float64))
+        yield from env.comm.Bcast(buf, root=0)
+        return float(buf.sum())
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [float(np.arange(50).sum())] * 4
+
+
+def test_Reduce_Allreduce_numpy_elementwise():
+    def main(env):
+        send = np.full(8, env.rank, dtype=np.int64)
+        recv = np.empty(8, dtype=np.int64)
+        yield from env.comm.Allreduce(send, recv, SUM)
+        return recv.tolist()
+
+    n = 5
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [[n * (n - 1) // 2] * 8] * n
+
+
+def test_Gather_Scatter_numpy():
+    def main(env):
+        n = env.size
+        send = np.full(4, env.rank, dtype=np.int32)
+        recv = np.empty((n, 4), dtype=np.int32) if env.rank == 0 else None
+        yield from env.comm.Gather(send, recv, root=0)
+        if env.rank == 0:
+            out = np.empty(4, dtype=np.int32)
+            yield from env.comm.Scatter(recv * 2, out, root=0)
+            return out.tolist()
+        out = np.empty(4, dtype=np.int32)
+        yield from env.comm.Scatter(None, out, root=0)
+        return out.tolist()
+
+    result = run_spmd(3, main, params=QUIET)
+    assert result.returns == [[2 * r] * 4 for r in range(3)]
+
+
+# ---------------------------------------------------------------- dup/split
+def test_split_into_even_odd():
+    def main(env):
+        sub = yield from env.comm.split(color=env.rank % 2, key=env.rank)
+        val = yield from sub.allgather(env.rank)
+        return (sub.rank, sub.size, val)
+
+    result = run_spmd(6, main, params=QUIET)
+    for rank, (sub_rank, sub_size, members) in enumerate(result.returns):
+        assert sub_size == 3
+        assert members == ([0, 2, 4] if rank % 2 == 0 else [1, 3, 5])
+        assert sub_rank == rank // 2
+
+
+def test_split_undefined_returns_none():
+    def main(env):
+        color = 0 if env.rank < 2 else None
+        sub = yield from env.comm.split(color=color, key=env.rank)
+        if sub is None:
+            return "excluded"
+        return (yield from sub.allgather(env.rank))
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns[0] == [0, 1]
+    assert result.returns[2] == "excluded"
+    assert result.returns[3] == "excluded"
+
+
+def test_split_key_reorders_ranks():
+    def main(env):
+        sub = yield from env.comm.split(color=0, key=-env.rank)
+        return (yield from sub.gather(env.rank, root=0))
+
+    result = run_spmd(4, main, params=QUIET)
+    # key = -rank: new rank 0 is old rank 3
+    assert result.returns[3] == [3, 2, 1, 0]

@@ -1,0 +1,75 @@
+"""Dynamic §4-safety tracking: call logs and post-hoc verification."""
+
+import pytest
+
+from repro.core.ordering import UnsafeScheduleError
+from repro.runtime import run_spmd
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+
+
+def test_call_log_records_ops_and_roots():
+    def main(env):
+        obj = "x" if env.rank == 0 else None
+        yield from env.comm.bcast(obj, root=0)
+        yield from env.comm.barrier()
+        yield from env.comm.bcast(obj if env.rank == 2 else None, root=2)
+
+    result = run_spmd(3, main, params=QUIET)
+    log = result.call_logs[0]
+    assert [entry[0] for entry in log] == ["bcast", "barrier", "bcast"]
+    assert log[0][2] == (0,)        # root 0
+    assert log[2][2] == (2,)        # root 2
+
+
+def test_verify_safe_schedules_passes_for_safe_program():
+    def main(env):
+        yield from env.comm.barrier()
+        total = yield from env.comm.allreduce(
+            env.rank, __import__("repro.mpi", fromlist=["SUM"]).SUM)
+        return total
+
+    result = run_spmd(4, main, params=QUIET)
+    result.verify_safe_schedules()      # must not raise
+    # allreduce dispatches reduce+bcast internally: all logged identically
+    assert all(log == result.call_logs[0] for log in result.call_logs)
+
+
+def test_verify_safe_schedules_flags_divergence():
+    """Divergent logs are flagged.  (A divergent program on one
+    communicator would deadlock before returning, so the divergence is
+    injected into the logs of a completed run.)"""
+
+    def body(env):
+        yield from env.comm.barrier()
+
+    result = run_spmd(2, body, params=QUIET)
+    result.call_logs[1] = [("bcast", 0, (0,))]   # rank 1 "did" a bcast
+    with pytest.raises(UnsafeScheduleError):
+        result.verify_safe_schedules()
+
+
+def test_signature_excludes_payloads():
+    """Different payloads per rank are NOT a safety violation."""
+
+    def main(env):
+        yield from env.comm.allgather(f"unique-{env.rank}" * (env.rank + 1))
+
+    result = run_spmd(3, main, params=QUIET)
+    result.verify_safe_schedules()
+
+
+def test_ops_appear_in_signature():
+    from repro.mpi import MAX, SUM
+
+    def main(env):
+        yield from env.comm.allreduce(1, SUM)
+        yield from env.comm.allreduce(1, MAX)
+
+    result = run_spmd(2, main, params=QUIET)
+    log = result.call_logs[0]
+    allreduce_entries = [e for e in log if e[0] == "allreduce"]
+    assert allreduce_entries[0][2] == ("SUM",)
+    assert allreduce_entries[1][2] == ("MAX",)

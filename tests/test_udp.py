@@ -1,0 +1,259 @@
+"""UDP socket semantics: buffering, posted-only mode, drops, timeouts.
+
+These tests pin down the paper's §2 unreliability model: a multicast
+datagram reaching a host with no posted receive (posted-only mode) or no
+buffer space (buffered mode) is silently dropped and *counted*.
+"""
+
+import pytest
+
+from repro.simnet import build_cluster, quiet
+from repro.simnet.calibration import FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH
+from repro.simnet.ipstack import PortInUse
+
+
+def make2(topology="hub", **kw):
+    params = quiet(FAST_ETHERNET_HUB if topology == "hub"
+                   else FAST_ETHERNET_SWITCH)
+    cl = build_cluster(2, topology, params=params, **kw)
+    return cl, cl.sim, cl.hosts[0], cl.hosts[1]
+
+
+def test_buffered_socket_queues_early_datagram():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100)
+    tx = h0.socket(101)
+    got = []
+
+    def sender():
+        yield from tx.sendto("early", 32, dst=1, dst_port=100)
+
+    def receiver():
+        yield sim.timeout(5000)         # recv posted long after arrival
+        d = yield from rx.recv()
+        got.append(d.payload)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert got == ["early"]
+    assert cl.stats.drops_not_posted == 0
+
+
+def test_posted_only_socket_drops_unposted():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100, posted_only=True)
+    tx = h0.socket(101)
+    got = []
+
+    def sender():
+        yield from tx.sendto("lost", 32, dst=1, dst_port=100)
+        yield sim.timeout(1000)
+        yield from tx.sendto("caught", 32, dst=1, dst_port=100)
+
+    def receiver():
+        yield sim.timeout(500)          # too late for the first datagram
+        d = yield from rx.recv()
+        got.append(d.payload)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert got == ["caught"]
+    assert cl.stats.drops_not_posted == 1
+    assert rx.rx_dropped == 1
+
+
+def test_posted_before_arrival_catches_datagram():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100, posted_only=True)
+    tx = h0.socket(101)
+    got = []
+
+    def receiver():
+        d = yield from rx.recv()        # posted at t=0
+        got.append(d.payload)
+
+    def sender():
+        yield sim.timeout(200)
+        yield from tx.sendto("ok", 32, dst=1, dst_port=100)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert got == ["ok"]
+    assert cl.stats.drops_not_posted == 0
+
+
+def test_buffer_overrun_drops_and_counts():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100, buffer_bytes=100)
+    tx = h0.socket(101)
+
+    def sender():
+        for i in range(4):
+            yield from tx.sendto(i, 40, dst=1, dst_port=100)
+
+    sim.process(sender())
+    sim.run()
+    # 100-byte buffer holds two 40-byte datagrams; the rest drop.
+    assert rx.queue_depth == 2
+    assert cl.stats.drops_buffer_full == 2
+
+
+def test_recv_timeout_returns_none():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100)
+    out = []
+
+    def receiver():
+        d = yield from rx.recv(timeout=250.0)
+        out.append(d)
+
+    sim.process(receiver())
+    sim.run()
+    assert out == [None]
+    assert sim.now == pytest.approx(250.0)
+
+
+def test_recv_timeout_cancels_posted_receive():
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100, posted_only=True)
+    tx = h0.socket(101)
+    out = []
+
+    def receiver():
+        d = yield from rx.recv(timeout=100.0)
+        out.append(d)
+
+    def sender():
+        yield sim.timeout(500)
+        yield from tx.sendto("late", 16, dst=1, dst_port=100)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert out == [None]
+    # the cancelled post no longer catches: the late datagram is dropped
+    assert cl.stats.drops_not_posted == 1
+
+
+def test_port_conflict_rejected():
+    cl, sim, h0, h1 = make2()
+    h0.socket(100)
+    with pytest.raises(PortInUse):
+        h0.socket(100)
+
+
+def test_ephemeral_ports_unique():
+    cl, sim, h0, h1 = make2()
+    s1 = h0.socket()
+    s2 = h0.socket()
+    assert s1.port != s2.port
+
+
+def test_close_unbinds_and_leaves_groups():
+    from repro.simnet.frame import mcast_mac
+
+    cl, sim, h0, h1 = make2()
+    grp = mcast_mac(1000)
+    s = h1.socket(100)
+    s.join(grp)
+    sim.run()
+    assert h1.ipstack.member_of(grp)
+    s.close()
+    assert not h1.ipstack.member_of(grp)
+    # port is free again
+    h1.socket(100)
+
+
+def test_multicast_needs_socket_join_not_just_nic():
+    """Two sockets on one port cannot exist; but a socket bound to the
+    right port that did NOT join the group must not receive."""
+    cl, sim, h0, h1 = make2()
+    from repro.simnet.frame import mcast_mac
+
+    grp = mcast_mac(1001)
+    rx = h1.socket(100)                 # bound, not joined
+    # Make the NIC accept the frame anyway (another socket joined).
+    other = h1.socket(101)
+    other.join(grp)
+    tx = h0.socket(102)
+
+    def sender():
+        yield sim.timeout(50)
+        yield from tx.sendto("grp-data", 32, dst=grp, dst_port=100)
+
+    sim.process(sender())
+    sim.run()
+    assert rx.queue_depth == 0
+    assert cl.stats.drops_no_listener >= 1
+
+
+def test_mcast_loop_delivers_local_copy():
+    from repro.simnet.frame import mcast_mac
+
+    cl, sim, h0, h1 = make2()
+    grp = mcast_mac(1002)
+    sock = h0.socket(100)
+    sock.join(grp)
+    got = []
+
+    def run():
+        yield from sock.sendto("self", 16, dst=grp, dst_port=100)
+        d = yield from sock.recv()
+        got.append(d.payload)
+
+    sim.process(run())
+    sim.run()
+    assert got == ["self"]
+
+
+def test_mcast_loop_off_suppresses_local_copy():
+    from repro.simnet.frame import mcast_mac
+
+    cl, sim, h0, h1 = make2()
+    grp = mcast_mac(1003)
+    sock = h0.socket(100, mcast_loop=False)
+    sock.join(grp)
+    got = []
+
+    def run():
+        yield from sock.sendto("self", 16, dst=grp, dst_port=100)
+        d = yield from sock.recv(timeout=2000)
+        got.append(d)
+
+    sim.process(run())
+    sim.run()
+    assert got == [None]
+
+
+def test_closed_socket_rejects_operations():
+    from repro.simnet.udp import SocketClosed
+
+    cl, sim, h0, h1 = make2()
+    s = h0.socket(100)
+    s.close()
+    with pytest.raises(SocketClosed):
+        s.post_recv()
+
+
+def test_fragmented_datagram_reassembles():
+    """A 5000-byte datagram crosses as 4 frames and arrives whole."""
+    cl, sim, h0, h1 = make2(topology="switch")
+    rx = h1.socket(100)
+    tx = h0.socket(101)
+    got = []
+
+    def receiver():
+        d = yield from rx.recv()
+        got.append((d.payload, d.size))
+
+    def sender():
+        yield from tx.sendto("big", 5000, dst=1, dst_port=100)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert got == [("big", 5000)]
+    assert cl.stats.frames_sent == 4  # paper's floor(M/T)+1 with M=5000
