@@ -1,0 +1,17 @@
+# Developer entry points.  `make smoke` is the CI gate: tier-1 tests plus
+# a tiny segmented-broadcast benchmark invocation, so the benchmark entry
+# points cannot silently rot.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test smoke bench-segmented
+
+test:
+	$(PY) -m pytest -x -q
+
+smoke: test
+	REPRO_SEG_SMOKE=1 REPRO_BENCH_REPS=3 $(PY) -m pytest -q \
+		benchmarks/bench_segmented_bcast.py
+
+bench-segmented:
+	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py

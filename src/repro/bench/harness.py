@@ -75,9 +75,10 @@ class Series:
 WINDOW_US = 20_000.0
 
 
-def _window_sync(env, base: float, index: int) -> float:
+def _window_sync(env, base: float, index: int,
+                 window_us: float = WINDOW_US) -> float:
     """Align all ranks on iteration ``index``'s window start."""
-    target = base + index * WINDOW_US
+    target = base + index * window_us
     now = env.now
     if target > now:
         return target - now
@@ -93,8 +94,16 @@ def _agree_base(env):
     return base
 
 
-def _bcast_workload(sizes, reps, think_us):
+def _bcast_workload(sizes, reps, think_us, setup=None,
+                    window_us=WINDOW_US):
     """SPMD body: timed bcast loop, per-rank durations into records.
+
+    ``setup(env)`` runs once per rank before the loop — benchmarks use it
+    to install fault-injection filters (e.g. induced multicast loss for
+    the segmented-broadcast sweep).  ``window_us`` overrides the
+    per-iteration measurement window for workloads whose collectives
+    (e.g. ``mcast-ack`` at many-segment sizes under loss) outlast the
+    default.
 
     Iterations are separated by **measurement windows**: every rank idles
     until a common absolute start tick (the window-mode technique of
@@ -108,12 +117,14 @@ def _bcast_workload(sizes, reps, think_us):
 
     def main(env):
         comm = env.comm
+        if setup is not None:
+            setup(env)
         base = yield from _agree_base(env)
         k = 0
         for size in sizes:
             payload = bytes(size)
             for it in range(reps):
-                delay = _window_sync(env, base, k)
+                delay = _window_sync(env, base, k, window_us)
                 k += 1
                 if delay > 0:
                     yield env.sim.timeout(delay)
@@ -163,12 +174,18 @@ def measure_bcast(impl: str, topology: str, nprocs: int,
                   sizes: list[int], reps: int = 25, seed: int = 0,
                   params: Optional[NetParams] = None,
                   think_us: float = DEFAULT_THINK_US,
-                  label: Optional[str] = None) -> Series:
+                  label: Optional[str] = None,
+                  setup=None,
+                  window_us: float = WINDOW_US) -> Series:
     """Latency sweep of one broadcast implementation.
 
     ``impl`` is a registry name ("p2p-binomial", "mcast-binary", ...).
+    ``setup(env)`` runs per rank before the timed loop (fault injection);
+    ``window_us`` widens the measurement window for slow collectives.
     """
-    result = run_spmd(nprocs, _bcast_workload(sizes, reps, think_us),
+    result = run_spmd(nprocs,
+                      _bcast_workload(sizes, reps, think_us, setup=setup,
+                                      window_us=window_us),
                       topology=topology, params=params, seed=seed,
                       collectives={"bcast": impl})
     return _collect(result, label or f"{impl}/{topology}/{nprocs}p",

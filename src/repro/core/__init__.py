@@ -1,10 +1,11 @@
 """``repro.core`` — the paper's contribution: collectives over IP multicast.
 
 Importing this package registers the multicast implementations
-(``mcast-binary``, ``mcast-linear``, ``mcast-naive``, ``mcast-ack`` for
-bcast; ``mcast`` for barrier; ``mcast-sequencer`` extension) in the
+(``mcast-binary``, ``mcast-linear``, ``mcast-naive``, ``mcast-ack``,
+``mcast-seg-nack`` for bcast; ``mcast`` for barrier; ``mcast-paced`` and
+``mcast-seg-paced`` for allgather; ``mcast-sequencer`` extension) in the
 collective registry, so any communicator can switch to them with
-``comm.use_collectives(bcast="mcast-binary", barrier="mcast")``.
+``comm.use_collectives(bcast="mcast-seg-nack", barrier="mcast")``.
 """
 
 from .channel import (DATA_PORT_BASE, GROUP_ID_BASE, MCAST_HEADER_BYTES,
@@ -18,14 +19,19 @@ from .ordering import (UnsafeScheduleError, check_safe_schedule,
                        run_bcast_sequence)
 from .scout import (binary_tree_steps, scout_count, scout_gather_binary,
                     scout_gather_linear)
+from .segment import (Reassembler, Segment, allgather_mcast_seg_paced,
+                      bcast_mcast_seg_nack, fragment, plan_segments,
+                      reassemble, seg_nack_frame_count)
 from . import sequencer  # noqa: F401  (registers mcast-sequencer)
 
 __all__ = [
     "DATA_PORT_BASE", "GROUP_ID_BASE", "MCAST_HEADER_BYTES", "McastChannel",
-    "McastLost", "SCOUT_BYTES", "SCOUT_PORT_BASE", "UnsafeScheduleError",
-    "allgather_mcast_paced", "allgather_mcast_unpaced", "barrier_mcast",
+    "McastLost", "Reassembler", "SCOUT_BYTES", "SCOUT_PORT_BASE", "Segment",
+    "UnsafeScheduleError", "allgather_mcast_paced",
+    "allgather_mcast_seg_paced", "allgather_mcast_unpaced", "barrier_mcast",
     "barrier_mcast_message_count", "bcast_mcast_ack", "bcast_mcast_binary",
-    "bcast_mcast_linear", "bcast_mcast_naive", "binary_tree_steps",
-    "check_safe_schedule", "run_bcast_sequence", "scout_count",
-    "scout_gather_binary", "scout_gather_linear",
+    "bcast_mcast_linear", "bcast_mcast_naive", "bcast_mcast_seg_nack",
+    "binary_tree_steps", "check_safe_schedule", "fragment", "plan_segments",
+    "reassemble", "run_bcast_sequence", "scout_count", "scout_gather_binary",
+    "scout_gather_linear", "seg_nack_frame_count",
 ]

@@ -15,7 +15,17 @@ per process group / context) plus two sockets on every member host:
 Every collective call advances the channel's **sequence number**; because
 MPI code must be *safe* (all ranks issue collectives on a communicator in
 the same order — paper §4), sequence numbers advance identically
-everywhere and stale traffic is detectable.
+everywhere and stale traffic is detectable.  The stash is bounded: scouts
+for sequences that already completed, and duplicates of pairs the current
+wait has already satisfied, are purged instead of accumulating across
+collectives.
+
+For payloads larger than one MTU the channel also speaks *segments*
+(:mod:`repro.core.segment`): descriptors are posted in batches
+(:meth:`McastChannel.post_data_many`), each segment rides its own
+``mcast-seg`` frame with a per-segment envelope, and the NACK-repair
+control plane (per-round receiver reports, root decisions) rides the
+buffered scout socket so it is immune to the posted-only discipline.
 """
 
 from __future__ import annotations
@@ -26,7 +36,8 @@ from ..simnet.frame import mcast_mac
 from ..simnet.kernel import Event
 
 __all__ = ["McastChannel", "GROUP_ID_BASE", "DATA_PORT_BASE",
-           "SCOUT_PORT_BASE", "SCOUT_BYTES", "MCAST_HEADER_BYTES"]
+           "SCOUT_PORT_BASE", "SCOUT_BYTES", "MCAST_HEADER_BYTES",
+           "SEG_HEADER_BYTES"]
 
 #: multicast group-id space reserved for communicators (above the
 #: cluster-level GroupAllocator's small ids)
@@ -40,6 +51,10 @@ SCOUT_BYTES = 4
 
 #: envelope bytes prepended to multicast data (root, seq)
 MCAST_HEADER_BYTES = 8
+
+#: extra envelope bytes on a *segment* frame (segment index, total
+#: segment count) — on top of MCAST_HEADER_BYTES
+SEG_HEADER_BYTES = 4
 
 
 class McastChannel:
@@ -89,6 +104,7 @@ class McastChannel:
         """
         remaining = set(src_ranks)
         self._drain_stash(remaining, seq, phase)
+        satisfied: set[int] = set(src_ranks) - remaining
         deadline = (None if timeout_us is None
                     else self.sim.now + timeout_us)
         while remaining:
@@ -103,7 +119,15 @@ class McastChannel:
             src, s, ph = dgram.payload
             if s == seq and ph == phase and src in remaining:
                 remaining.discard(src)
+                satisfied.add(src)
+            elif s < self.seq:
+                pass    # stale: belongs to a completed collective
+            elif s == seq and ph == phase and src in satisfied:
+                pass    # duplicate of a scout this wait already consumed
             else:
+                # Early arrival for another (seq, phase) — or for a rank
+                # this call was not asked about (e.g. a sibling subtree's
+                # scout racing ahead of ours in the binary gather): stash.
                 self._scout_stash.append((src, s, ph))
         return remaining
 
@@ -113,14 +137,91 @@ class McastChannel:
         for (src, s, ph) in self._scout_stash:
             if s == seq and ph == phase and src in remaining:
                 remaining.discard(src)
-            else:
+            elif s >= self.seq:
+                keep.append((src, s, ph))
+            # else: stale entry from a completed collective — purge
+        self._scout_stash = keep
+
+    # -- segment reports / decisions (NACK repair control plane) -----------
+    def send_report(self, dst_rank: int, seq: int, rnd: int,
+                    missing, nsegs: int) -> Generator:
+        """Send a per-round segment report to ``dst_rank``.
+
+        ``missing`` is the set of segment indices this rank has not
+        received after round ``rnd`` (empty = everything arrived).  Wire
+        size: a scout plus an ``nsegs``-bit bitmap.  Rides the buffered
+        scout socket, so reports are never lost to the posted-only
+        discipline.
+        """
+        nbytes = SCOUT_BYTES + (nsegs + 7) // 8
+        yield from self.scout_sock.sendto(
+            (self.comm.rank, seq, ("seg-report", rnd, tuple(sorted(missing)))),
+            nbytes, self.comm.addr_of(dst_rank), self.scout_port,
+            kind="seg-report")
+
+    def send_decision(self, dst_rank: int, seq: int, rnd: int,
+                      segments, nsegs: int) -> Generator:
+        """Tell ``dst_rank`` what round ``rnd``'s verdict is.
+
+        ``segments`` is the sorted tuple of segment indices the root will
+        re-multicast next round, or ``None`` for "done".
+        """
+        nbytes = SCOUT_BYTES + (nsegs + 7) // 8
+        yield from self.scout_sock.sendto(
+            (self.comm.rank, seq, ("seg-dec", rnd, segments)),
+            nbytes, self.comm.addr_of(dst_rank), self.scout_port,
+            kind="seg-dec")
+
+    def wait_tagged(self, src_ranks: set[int], seq: int, tag: str,
+                    rnd: int) -> Generator:
+        """Collect one ``(tag, rnd, value)`` scout-socket message from
+        every rank in ``src_ranks``; returns ``{src: value}``.
+
+        Shares the early-arrival stash with :meth:`wait_scouts` (a report
+        can land while a rank is still inside a scout gather, and vice
+        versa); the same staleness purge applies.
+        """
+        remaining = set(src_ranks)
+        results: dict[int, Any] = {}
+
+        def match(src, s, ph):
+            return (s == seq and isinstance(ph, tuple) and len(ph) == 3
+                    and ph[0] == tag and ph[1] == rnd and src in remaining)
+
+        keep = []
+        for (src, s, ph) in self._scout_stash:
+            if match(src, s, ph):
+                results[src] = ph[2]
+                remaining.discard(src)
+            elif s >= self.seq:
                 keep.append((src, s, ph))
         self._scout_stash = keep
+        while remaining:
+            dgram = yield from self.scout_sock.recv()
+            src, s, ph = dgram.payload
+            if match(src, s, ph):
+                results[src] = ph[2]
+                remaining.discard(src)
+            elif (s == seq and isinstance(ph, tuple) and len(ph) == 3
+                    and ph[0] == tag and ph[1] == rnd and src in results):
+                pass    # duplicate of a message this wait already took
+            elif s >= self.seq:
+                self._scout_stash.append((src, s, ph))
+        return results
 
     # -- multicast data ----------------------------------------------------
     def post_data(self) -> Event:
         """Post the multicast receive — MUST precede the scout send."""
         return self.data_sock.post_recv()
+
+    def post_data_many(self, n: int) -> list[Event]:
+        """Post ``n`` multicast receive descriptors (one per expected
+        segment) — MUST precede the arming scout."""
+        return self.data_sock.post_recv_many(n)
+
+    def cancel_data(self, posted) -> None:
+        """Withdraw every untriggered descriptor in ``posted``."""
+        self.data_sock.cancel_recv_all(list(posted))
 
     def wait_data(self, posted: Event) -> Generator:
         """Complete a posted receive: returns ``(root, seq, payload)``.
@@ -130,9 +231,9 @@ class McastChannel:
         """
         dgram = yield posted
         cost = self.data_sock.recv_cost_us
-        if dgram.kind == "mcast-data":
+        if dgram.kind in ("mcast-data", "mcast-seg"):
             # The extra models payload validation + user-buffer delivery;
-            # control multicasts (the barrier release) skip it.
+            # control multicasts (barrier release, segment headers) skip it.
             cost += self.params.mcast_recv_extra_us
         yield from self.host.cpu.use(self.host.jitter(cost))
         root, seq, payload = dgram.payload
@@ -140,22 +241,36 @@ class McastChannel:
 
     def send_data(self, payload: Any, nbytes: int, seq: int,
                   retransmit: bool = False,
-                  control: bool = False) -> Generator:
+                  control: bool = False,
+                  kind: Optional[str] = None) -> Generator:
         """Multicast ``payload`` to the whole group in one send.
 
         ``control=True`` marks data-less protocol multicasts (the barrier
-        release): they skip the payload-handling extras and are traced as
-        ``mcast-release`` frames.
+        release, segment headers): they skip the payload-handling extras
+        and are traced as ``mcast-release`` frames unless ``kind``
+        overrides the trace label.
         """
         if retransmit:
             self.host.stats.retransmissions += 1
         if not control and self.params.mcast_send_extra_us > 0:
             yield from self.host.cpu.use(
                 self.host.jitter(self.params.mcast_send_extra_us))
+        if kind is None:
+            kind = "mcast-release" if control else "mcast-data"
         yield from self.data_sock.sendto(
             (self.comm.rank, seq, payload), nbytes + MCAST_HEADER_BYTES,
-            self.group, self.data_port,
-            kind="mcast-release" if control else "mcast-data")
+            self.group, self.data_port, kind=kind)
+
+    def send_segment(self, segment, seq: int,
+                     retransmit: bool = False) -> Generator:
+        """Multicast one payload segment (kind ``mcast-seg``).
+
+        Wire size: the segment's chunk bytes plus the data envelope plus
+        the per-segment envelope (:data:`SEG_HEADER_BYTES`).
+        """
+        yield from self.send_data(
+            segment, segment.nbytes + SEG_HEADER_BYTES, seq,
+            retransmit=retransmit, kind="mcast-seg")
 
     # ------------------------------------------------------------------
     def close(self) -> None:

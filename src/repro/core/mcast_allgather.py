@@ -24,6 +24,9 @@ gather-plus-broadcast trees.  Two schedules are provided:
   descriptor budget to chart the overrun boundary.
 
 Both build on the per-communicator :class:`~repro.core.channel.McastChannel`.
+For contributions larger than one MTU, :mod:`repro.core.segment` registers
+``mcast-seg-paced``: the same rank-ordered pacing, with each turn's payload
+fragmented and streamed as a pipeline of single-frame segments.
 """
 
 from __future__ import annotations
@@ -144,6 +147,11 @@ def allgather_mcast_unpaced(comm, obj: Any,
             received += 1
         if received + len(posted) < expected:
             posted.append(channel.post_data())
+
+    # Withdraw every descriptor still outstanding (not just the one that
+    # timed out): a stale posted receive would swallow the next
+    # collective's multicast payload on this channel and hang it.
+    channel.data_sock.cancel_recv_all(posted)
 
     lost = expected - received
     return results, lost

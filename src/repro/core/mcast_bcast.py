@@ -19,6 +19,17 @@ Four registered implementations:
   benchmark (`benchmarks/bench_ablation_reliability.py`) reproduces that
   verdict.
 
+A fifth implementation, ``mcast-seg-nack`` (:mod:`repro.core.segment`),
+addresses exactly the weakness that sinks ``mcast-ack`` at large
+payloads: it fragments the payload into single-frame segments sized by
+``NetParams.segment_bytes``, streams them back-to-back, and repairs
+losses with selective per-segment NACK retransmission instead of
+re-multicasting everything.  Loss-free it costs
+``1 + 4(N-1) + ceil(M / segment_bytes)`` frames (header multicast, four
+scout/report/decision sweeps, one frame per segment — the full formula,
+including repair rounds, is derived in the segment module's docstring
+and exported as :func:`repro.core.segment.seg_nack_frame_count`).
+
 Invariant shared by binary/linear (the paradigm-mismatch fix): every
 receiver **posts its multicast receive before releasing its scout**, so
 by the time the root has gathered all scouts, a multicast cannot find an

@@ -1,0 +1,389 @@
+"""Segmented, pipelined multicast with selective NACK repair.
+
+The paper's reliable baseline (``mcast-ack``) re-multicasts the **whole
+payload** whenever any ack is late — the reason it "did not produce
+improvement in performance".  This module takes the opposite approach for
+payloads larger than one MTU, following the bandwidth-saving segmented
+broadcasts of Zhou et al. and Träff's multi-lane decompositions:
+
+1. the payload is **fragmented** into per-segment-sequenced chunks
+   (:func:`fragment`), each small enough that one segment rides one
+   Ethernet frame at the default :attr:`NetParams.segment_bytes`;
+2. the root **streams** all segments back-to-back through the
+   :class:`~repro.core.channel.McastChannel` (pipelined: the wire
+   serializes while the host prepares the next segment);
+3. receivers pre-post one descriptor per expected segment
+   (``post_data_many``), reassemble by segment index, and report the
+   **bitmap of missing segments** to the root over the buffered scout
+   socket — immediately once the round's highest-index segment arrives
+   (the stream is FIFO, so nothing later is coming), or after
+   ``seg_drain_timeout_us`` of silence when the stream's tail was lost;
+4. the root re-multicasts **only the union of missing segments**
+   (selective NACK repair), round by round, until every receiver reports
+   an empty bitmap.
+
+Round structure of ``mcast-seg-nack`` (N ranks, root r):
+
+* header phase — receivers post one descriptor, scout-sync up the binary
+  tree, root multicasts a tiny header carrying the segment count;
+* round ``k`` — receivers still missing data post one descriptor per
+  planned segment, everyone arms via a binary scout gather, the root
+  streams the round's segments, every receiver reports its missing set,
+  and the root unicasts a per-receiver decision: ``done`` or the next
+  round's repair plan (the sorted union of all missing sets).
+
+All repair control (reports, decisions) rides the **buffered** scout
+socket, so it is immune to the posted-only discipline; only ``mcast-seg``
+data frames can be lost.  Because every receiver learns the exact repair
+plan before arming, descriptor counts always match the frames the root
+will send — no repair frame can steal a descriptor belonging to a later
+protocol step.
+
+**Frame-count formula** (asserted by ``benchmarks/bench_segmented_bcast.py``
+and ``tests/test_segment.py``).  For N ranks, S segments, R repair rounds
+re-sending unions U_1..U_R (U_0 = all S segments)::
+
+    frames(N, S, R) = 1                       # header multicast
+                    + (N-1)                   # header scout gather
+                    + sum over rounds r=0..R of
+                        (N-1)                 # arming scout gather
+                      + |U_r|                 # segment frames
+                      + (N-1)                 # per-receiver reports
+                      + (N-1)                 # per-receiver decisions
+                    = 1 + (N-1)(3(R+1) + 1) + S + sum(|U_r|, r >= 1)
+
+Loss-free this is ``1 + 4(N-1) + S`` — linear in payload like the
+paper's single multicast, with a constant per-round synchronization tax;
+under loss, repair cost is proportional to what was actually lost, not to
+the payload (contrast ``mcast-ack``: one full S-frame resend per timeout).
+
+The allgather variant ``mcast-seg-paced`` applies the same segmentation
+to the many-to-many case: after the paced ready round, each rank takes a
+turn announcing its segment count, waiting for everyone to arm, then
+streaming its segments.  Pacing (the paper's §5 overrun fix) already
+guarantees descriptors are posted in time, so this variant relies on arm
+synchronization instead of NACK repair and raises
+:class:`~repro.core.mcast_bcast.McastLost` if a segment is lost anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..mpi.collective.registry import register
+from ..mpi.datatypes import payload_bytes
+from .channel import SEG_HEADER_BYTES
+from .mcast_allgather import _ready_round
+from .mcast_bcast import McastLost
+from .scout import scout_gather_binary
+
+__all__ = ["Segment", "Reassembler", "plan_segments", "fragment",
+           "reassemble", "bcast_mcast_seg_nack",
+           "allgather_mcast_seg_paced", "seg_nack_frame_count"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One per-segment-sequenced chunk of a fragmented payload.
+
+    ``opaque`` payloads (anything that is not bytes-like) cannot be
+    sliced for real, so segment 0 carries the whole object and the rest
+    carry ``None`` — the *sizes* still follow the segmentation plan, so
+    wire timing is identical to a byte payload of the same length.
+    """
+
+    index: int     #: position in the payload, 0-based
+    nsegs: int     #: total segments of this payload
+    nbytes: int    #: user bytes accounted to this segment on the wire
+    chunk: Any     #: bytes slice, or the object (opaque, index 0), or None
+    opaque: bool = False
+
+
+def plan_segments(nbytes: int, segment_bytes: int) -> list[int]:
+    """Chunk sizes for a payload of ``nbytes``: full segments plus one
+    remainder for non-divisible sizes.  A zero-byte payload still takes
+    one (empty) segment so the protocol always has something to stream.
+    """
+    if segment_bytes < 1:
+        raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return [0]
+    full, part = divmod(nbytes, segment_bytes)
+    return [segment_bytes] * full + ([part] if part else [])
+
+
+def fragment(obj: Any, segment_bytes: int) -> list[Segment]:
+    """Fragment ``obj`` into :class:`Segment` chunks of ``segment_bytes``.
+
+    Bytes-like payloads are sliced for real (and round-trip through
+    :func:`reassemble` as ``bytes``); any other object is *opaque*:
+    segment 0 references it whole, later segments are placeholders whose
+    sizes keep the wire accounting exact.
+    """
+    nbytes = payload_bytes(obj)
+    sizes = plan_segments(nbytes, segment_bytes)
+    n = len(sizes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out, off = [], 0
+        for i, sz in enumerate(sizes):
+            out.append(Segment(i, n, sz, raw[off:off + sz]))
+            off += sz
+        return out
+    return [Segment(i, n, sz, obj if i == 0 else None, opaque=True)
+            for i, sz in enumerate(sizes)]
+
+
+def reassemble(segments: list[Segment]) -> Any:
+    """Rebuild the payload from a complete segment set (any order)."""
+    if not segments:
+        raise ValueError("cannot reassemble zero segments")
+    segs = sorted(segments, key=lambda s: s.index)
+    nsegs = segs[0].nsegs
+    if len(segs) != nsegs or [s.index for s in segs] != list(range(nsegs)):
+        raise ValueError(
+            f"incomplete segment set: have {[s.index for s in segs]} "
+            f"of {nsegs}")
+    if segs[0].opaque:
+        return segs[0].chunk
+    return b"".join(s.chunk for s in segs)
+
+
+class Reassembler:
+    """Collects segments by index, tolerating duplicates and tracking
+    the missing bitmap the NACK reports are built from."""
+
+    def __init__(self, nsegs: int):
+        if nsegs < 1:
+            raise ValueError(f"nsegs must be >= 1, got {nsegs}")
+        self.nsegs = nsegs
+        self.duplicates = 0
+        self._got: dict[int, Segment] = {}
+
+    def add(self, seg: Segment) -> bool:
+        """Accept one segment; returns False for a duplicate."""
+        if seg.nsegs != self.nsegs or not 0 <= seg.index < self.nsegs:
+            raise ValueError(f"segment {seg.index}/{seg.nsegs} does not "
+                             f"belong to a {self.nsegs}-segment payload")
+        if seg.index in self._got:
+            self.duplicates += 1
+            return False
+        self._got[seg.index] = seg
+        return True
+
+    @property
+    def complete(self) -> bool:
+        return len(self._got) == self.nsegs
+
+    def missing(self) -> set[int]:
+        return set(range(self.nsegs)) - self._got.keys()
+
+    def result(self) -> Any:
+        if not self.complete:
+            raise ValueError(f"missing segments {sorted(self.missing())}")
+        return reassemble(list(self._got.values()))
+
+
+def seg_nack_frame_count(n: int, nsegs: int,
+                         repairs: Optional[list[int]] = None) -> int:
+    """The documented frame-count formula (see module docstring).
+
+    ``repairs`` lists ``|U_r|`` for each repair round r >= 1.
+    """
+    if n < 2:
+        return 0
+    repairs = repairs or []
+    rounds = 1 + len(repairs)
+    return 1 + (n - 1) * (3 * rounds + 1) + nsegs + sum(repairs)
+
+
+# ----------------------------------------------------------------------
+# shared receive loop
+# ----------------------------------------------------------------------
+def _consume_round(comm, channel, posted, seq, reasm: Reassembler,
+                   last_index: int) -> Generator:
+    """Drain one round's posted descriptors into ``reasm``.
+
+    Segments stream in index order over a FIFO wire, so the round ends
+    the moment ``last_index`` (the highest index of the round's plan)
+    arrives — any descriptor still empty then belongs to a lost segment
+    and is cancelled immediately, keeping the NACK on the critical path
+    instead of a timeout.  Only when the *tail* of the stream is lost
+    does the receiver fall back to ``seg_drain_timeout_us`` of silence.
+    Either way every leftover descriptor is withdrawn — leaving one
+    behind would swallow a later collective's traffic.  Non-segment or
+    stale-sequence datagrams waste their descriptor; the segment they
+    displaced is simply reported missing and repaired next round.
+    """
+    drain_us = comm.host.params.seg_drain_timeout_us
+    for i, ev in enumerate(posted):
+        if not ev.triggered:
+            timer = comm.sim.timeout(drain_us)
+            yield comm.sim.any_of([ev, timer])
+            if not ev.triggered:
+                channel.cancel_data(posted[i:])
+                return
+        _src, got_seq, payload = yield from channel.wait_data(ev)
+        if got_seq == seq and isinstance(payload, Segment):
+            reasm.add(payload)
+            if payload.index == last_index:
+                channel.cancel_data(posted[i + 1:])
+                return
+
+
+# ----------------------------------------------------------------------
+# broadcast: segmented + pipelined + selective NACK repair
+# ----------------------------------------------------------------------
+@register("bcast", "mcast-seg-nack")
+def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
+    """Segmented pipelined broadcast with per-segment NACK repair."""
+    channel = comm.mcast
+    params = comm.host.params
+    seq = channel.next_seq()
+    if comm.size == 1:
+        return obj
+    receivers = {r for r in range(comm.size) if r != root}
+
+    if comm.rank == root:
+        segments = fragment(obj, params.segment_bytes)
+        nsegs = len(segments)
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase="seg-hdr")
+        yield from channel.send_data(("seg-hdr", nsegs), SEG_HEADER_BYTES,
+                                     seq, control=True,
+                                     kind="mcast-seg-hdr")
+        plan = list(range(nsegs))
+        rnd = 0
+        while True:
+            yield from scout_gather_binary(comm, channel, seq, root,
+                                           phase=("seg-arm", rnd))
+            for idx in plan:
+                yield from channel.send_segment(segments[idx], seq,
+                                                retransmit=rnd > 0)
+            reports = yield from channel.wait_tagged(receivers, seq,
+                                                     "seg-report", rnd)
+            union: set[int] = set()
+            for missing in reports.values():
+                union.update(missing)
+            if not union:
+                decision = None
+            elif rnd >= params.max_retransmits:
+                decision = "abort"      # tell receivers before raising,
+            else:                       # so nobody arms a dead round
+                decision = tuple(sorted(union))
+            for dst in sorted(receivers):
+                yield from channel.send_decision(dst, seq, rnd, decision,
+                                                 nsegs)
+            if decision is None:
+                return obj
+            if decision == "abort":
+                raise RuntimeError(
+                    f"bcast_mcast_seg_nack: gave up after {rnd} repair "
+                    f"rounds; still missing segments {sorted(union)}")
+            rnd += 1
+            plan = list(decision)
+
+    # Receiver: header phase — one descriptor, posted before the scout.
+    hdr_posted = channel.post_data()
+    yield from scout_gather_binary(comm, channel, seq, root,
+                                   phase="seg-hdr")
+    while True:
+        src, got_seq, hdr = yield from channel.wait_data(hdr_posted)
+        if (got_seq == seq and src == root and isinstance(hdr, tuple)
+                and hdr[0] == "seg-hdr"):
+            break
+        # A straggler frame consumed the descriptor; re-post and re-wait
+        # (the header cannot overtake same-source stragglers: FIFO wire).
+        hdr_posted = channel.post_data()
+    nsegs = hdr[1]
+    reasm = Reassembler(nsegs)
+    plan = list(range(nsegs))
+    rnd = 0
+    while True:
+        # A fully-reassembled receiver keeps arming/reporting (other
+        # ranks may still need repairs) but posts no descriptors, so the
+        # repair frames it does not need die at its posted-only socket.
+        posted = (channel.post_data_many(len(plan))
+                  if not reasm.complete else [])
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase=("seg-arm", rnd))
+        yield from _consume_round(comm, channel, posted, seq, reasm,
+                                  last_index=plan[-1])
+        yield from channel.send_report(root, seq, rnd, reasm.missing(),
+                                       nsegs)
+        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
+                                                  rnd)
+        plan_t = decision[root]
+        if plan_t is None:
+            break
+        if plan_t == "abort":
+            raise RuntimeError(
+                f"rank {comm.rank}: root gave up repairing segmented "
+                f"bcast seq={seq}; still missing {sorted(reasm.missing())}")
+        plan = list(plan_t)
+        rnd += 1
+    return reasm.result()
+
+
+# ----------------------------------------------------------------------
+# allgather: per-turn segmented streaming, paced by arm synchronization
+# ----------------------------------------------------------------------
+@register("allgather", "mcast-seg-paced")
+def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
+    """Rank-ordered allgather with segmented, pipelined contributions.
+
+    Per turn: the sender waits for a header scout from everyone, announces
+    its segment count in a tiny control multicast, waits for everyone to
+    arm one descriptor per segment, then streams the segments
+    back-to-back.  Arm synchronization makes losses impossible under the
+    paper's readiness model; a loss injected anyway (fault filters)
+    surfaces as :class:`McastLost` rather than a hang.
+    """
+    channel = comm.mcast
+    params = comm.host.params
+    seq = channel.next_seq()
+    size = comm.size
+    if size == 1:
+        return [obj]
+
+    mine = fragment(obj, params.segment_bytes)
+    results: list[Any] = [None] * size
+    results[comm.rank] = obj
+
+    yield from _ready_round(comm, channel, seq)
+
+    for turn in range(size):
+        if turn == comm.rank:
+            others = {r for r in range(size) if r != turn}
+            yield from channel.wait_scouts(others, seq,
+                                           phase=("ag-hdr", turn))
+            yield from channel.send_data(("seg-hdr", turn, len(mine)),
+                                         SEG_HEADER_BYTES, seq,
+                                         control=True,
+                                         kind="mcast-seg-hdr")
+            yield from channel.wait_scouts(others, seq,
+                                           phase=("ag-arm", turn))
+            for seg in mine:
+                yield from channel.send_segment(seg, seq)
+            continue
+        hdr_posted = channel.post_data()
+        yield from channel.send_scout(turn, seq, phase=("ag-hdr", turn))
+        src, got_seq, hdr = yield from channel.wait_data(hdr_posted)
+        if (got_seq != seq or src != turn or not isinstance(hdr, tuple)
+                or hdr[0] != "seg-hdr" or hdr[1] != turn):
+            raise AssertionError(
+                f"rank {comm.rank}: seg-paced allgather pacing violated "
+                f"(expected turn {turn} header, got src={src}, "
+                f"payload={hdr!r}, seq={got_seq}/{seq})")
+        reasm = Reassembler(hdr[2])
+        posted = channel.post_data_many(hdr[2])
+        yield from channel.send_scout(turn, seq, phase=("ag-arm", turn))
+        yield from _consume_round(comm, channel, posted, seq, reasm,
+                                  last_index=hdr[2] - 1)
+        if not reasm.complete:
+            raise McastLost(comm.rank, seq)
+        results[turn] = reasm.result()
+    return results

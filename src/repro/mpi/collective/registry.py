@@ -5,8 +5,12 @@ is exactly a comparison of entries in this table:
 
 * ``bcast``: ``"p2p-binomial"`` (MPICH) vs ``"mcast-binary"`` /
   ``"mcast-linear"`` (the contribution) plus ``"mcast-naive"`` and
-  ``"mcast-ack"`` (the PVM-style baseline from [2]);
-* ``barrier``: ``"p2p-mpich"`` vs ``"mcast"``.
+  ``"mcast-ack"`` (the PVM-style baseline from [2]) and
+  ``"mcast-seg-nack"`` (segmented + pipelined with selective NACK
+  repair, :mod:`repro.core.segment`);
+* ``barrier``: ``"p2p-mpich"`` vs ``"mcast"``;
+* ``allgather``: ``"p2p-gather-bcast"`` vs ``"mcast-paced"`` /
+  ``"mcast-seg-paced"`` (segmented per-turn streaming).
 """
 
 from __future__ import annotations

@@ -74,6 +74,19 @@ class NetParams:
     ack_timeout_us: float = 300.0
     max_retransmits: int = 40
 
+    # -- segmented multicast (mcast-seg-nack / mcast-seg-paced) ---------------
+    #: user bytes per segment.  1460 + the 12-byte segment envelope fills
+    #: exactly one UDP/IP MTU (1472 payload bytes), so every segment is a
+    #: single Ethernet frame and the frame-count formula in
+    #: :mod:`repro.core.segment` holds with one frame per segment.
+    segment_bytes: int = 1460
+    #: how long a receiver waits for the *next* expected segment before
+    #: declaring the round over and NACKing what is still missing.  Must
+    #: comfortably exceed the inter-segment arrival gap (wire
+    #: serialization + per-segment receive software, ~200 µs at Fast
+    #: Ethernet sizes) times the longest plausible run of lost segments.
+    seg_drain_timeout_us: float = 2500.0
+
     label: str = field(default="custom", compare=False)
 
     # -- derived ---------------------------------------------------------

@@ -22,7 +22,7 @@ the dominant term at the paper's message sizes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from .host import Host
 from .ip import Datagram, is_group_addr
@@ -66,15 +66,31 @@ class UdpSocket:
         self._posted: deque[Event] = deque()
         self._closed = False
         self.rx_dropped = 0
+        #: optional fault-injection hook: ``drop_filter(dgram) -> bool``;
+        #: a True return drops the datagram before delivery (counted as
+        #: ``drops_induced``).  Benchmarks and tests use this to model
+        #: lossy multicast without touching the wire simulation.
+        self.drop_filter: Optional[Callable[[Datagram], bool]] = None
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
+        """Close the socket.
+
+        Receives still posted at close time are *failed* with
+        :class:`SocketClosed`, so a process blocked on one gets a clear
+        error instead of hanging until the end-of-simulation deadlock
+        detector trips.
+        """
         if self._closed:
             return
         for group in list(self._groups):
             self.leave(group)
         self._closed = True
         self.host.ipstack.unbind(self.port)
+        while self._posted:
+            self._posted.popleft().fail(SocketClosed(
+                f"socket :{self.port} on host {self.host.addr} closed "
+                f"with a receive still posted"))
 
     def _check_open(self) -> None:
         if self._closed:
@@ -135,12 +151,33 @@ class UdpSocket:
             self._posted.append(ev)
         return ev
 
+    def post_recv_many(self, n: int) -> list[Event]:
+        """Post ``n`` receive descriptors at once (VIA-style batching).
+
+        The segmented multicast data path pre-posts one descriptor per
+        expected segment; arrivals fill descriptors in posting order.
+        """
+        if n < 0:
+            raise ValueError(f"cannot post {n} receives")
+        return [self.post_recv() for _ in range(n)]
+
     def cancel_recv(self, ev: Event) -> None:
         """Withdraw a posted receive that has not fired."""
         try:
             self._posted.remove(ev)
         except ValueError:
             pass
+
+    def cancel_recv_all(self, events: list[Event]) -> None:
+        """Withdraw every untriggered posted receive in ``events``.
+
+        Leaving even one behind makes the *next* delivery on this socket
+        disappear into the stale descriptor — the cross-collective leak
+        the segmented collectives and the unpaced allgather must avoid.
+        """
+        for ev in events:
+            if not ev.triggered:
+                self.cancel_recv(ev)
 
     def recv(self, timeout: Optional[float] = None) -> Generator:
         """Blocking receive; returns a Datagram, or None on timeout.
@@ -166,6 +203,10 @@ class UdpSocket:
     def _deliver(self, dgram: Datagram) -> None:
         if self._closed:
             self.stats.drops_no_listener += 1
+            return
+        if self.drop_filter is not None and self.drop_filter(dgram):
+            self.rx_dropped += 1
+            self.stats.drops_induced += 1
             return
         if self._posted:
             self._posted.popleft().succeed(dgram)

@@ -179,3 +179,30 @@ def test_sequencer_retransmits_to_late_receiver():
                       collectives={"bcast": "mcast-sequencer"})
     assert result.returns == ["late-ok"] * 4
     assert result.stats["retransmissions"] >= 1
+
+
+def test_scout_stash_stays_bounded_over_many_collectives():
+    """Regression: duplicate scouts whose (seq, phase) wait had already
+    been satisfied were stashed forever — the stash grew without bound
+    across collectives.  Stale entries must be purged when draining and
+    satisfied duplicates must not be stashed at all."""
+
+    def main(env):
+        ch = env.comm.mcast
+        high = 0
+        for _ in range(100):
+            seq = ch.next_seq()
+            if env.rank == 1:
+                # a duplicate ack: the second copy can never match
+                yield from ch.send_scout(0, seq, "ack")
+                yield from ch.send_scout(0, seq, "ack")
+            if env.rank == 0:
+                missing = yield from ch.wait_scouts({1}, seq, "ack")
+                assert not missing
+            high = max(high, len(ch._scout_stash))
+            yield from env.comm.barrier()     # p2p: keeps ranks in step
+        return high
+
+    result = run_spmd(2, main, params=QUIET)
+    # a couple of in-flight entries are fine; linear growth is the bug
+    assert max(result.returns) <= 4

@@ -124,3 +124,32 @@ def test_unpaced_single_rank_trivial():
 
     result = run_spmd(1, main, params=QUIET_SW)
     assert result.returns[0] == (["me"], 0)
+
+
+def test_unpaced_drain_cancels_every_leftover_descriptor():
+    """Regression: the drain-timeout path used to cancel only the first
+    untriggered descriptor.  The leftovers swallowed the next
+    collective's multicast payload on the same channel, hanging a
+    back-to-back unpaced → paced sequence."""
+
+    def main(env):
+        if env.rank == 5:
+            # induced loss: rank 5 never sees contributions from 1,2,3,
+            # so its drain times out with descriptors still posted
+            env.comm.mcast.data_sock.drop_filter = (
+                lambda dgram: dgram.kind == "mcast-data"
+                and dgram.payload[0] in (1, 2, 3))
+        results, lost = yield from allgather_mcast_unpaced(
+            env.comm, bytes(1500), descriptors=2)
+        env.comm.mcast.data_sock.drop_filter = None
+
+        env.comm.use_collectives(allgather="mcast-paced")
+        out = yield from env.comm.allgather(env.rank)   # hangs before fix
+        return lost, out
+
+    result = run_spmd(6, main, params=QUIET_SW)
+    losses = [r[0] for r in result.returns]
+    assert losses[5] == 3                   # the induced loss was real
+    assert all(r[1] == list(range(6)) for r in result.returns)
+    # and no descriptor survived into the paced collective
+    assert result.stats["drops_induced"] == 3

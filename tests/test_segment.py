@@ -1,0 +1,316 @@
+"""Segmented pipelined multicast: fragmentation, reassembly, and the
+``mcast-seg-nack`` / ``mcast-seg-paced`` collectives (incl. NACK repair
+under induced loss and the documented frame-count formula)."""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.core.mcast_bcast import McastLost
+from repro.core.segment import (Reassembler, Segment, fragment,
+                                plan_segments, reassemble,
+                                seg_nack_frame_count)
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+
+
+# ------------------------------------------------------------- planning
+@pytest.mark.parametrize("nbytes,seg,expected", [
+    (0, 100, [0]),                     # empty payload: one empty segment
+    (1, 100, [1]),
+    (100, 100, [100]),                 # exact fit
+    (101, 100, [100, 1]),              # non-divisible remainder
+    (250, 100, [100, 100, 50]),
+    (300, 100, [100, 100, 100]),       # divisible
+])
+def test_plan_segments(nbytes, seg, expected):
+    assert plan_segments(nbytes, seg) == expected
+    assert sum(expected) == nbytes
+
+
+def test_plan_segments_rejects_bad_args():
+    with pytest.raises(ValueError):
+        plan_segments(-1, 100)
+    with pytest.raises(ValueError):
+        plan_segments(100, 0)
+
+
+# ------------------------------------------------- fragment / reassemble
+@pytest.mark.parametrize("nbytes", [0, 1, 99, 100, 101, 1459, 1460,
+                                    1461, 4999, 48_000])
+def test_bytes_round_trip(nbytes):
+    payload = bytes(range(256)) * (nbytes // 256 + 1)
+    payload = payload[:nbytes]
+    segs = fragment(payload, 1460)
+    assert sum(s.nbytes for s in segs) == nbytes
+    assert reassemble(segs) == payload
+    # any order reassembles identically
+    assert reassemble(list(reversed(segs))) == payload
+
+
+def test_bytearray_and_memoryview_round_trip_as_bytes():
+    payload = bytearray(b"ab" * 700)
+    for obj in (payload, memoryview(payload)):
+        assert reassemble(fragment(obj, 100)) == bytes(payload)
+
+
+def test_opaque_object_round_trip():
+    obj = {"k": list(range(500))}
+    segs = fragment(obj, 64)
+    assert len(segs) > 1
+    assert all(s.opaque for s in segs)
+    assert reassemble(segs) is obj
+
+
+def test_numpy_payload_is_opaque_but_sized_exactly():
+    arr = np.arange(1000, dtype=np.float64)
+    segs = fragment(arr, 1460)
+    assert sum(s.nbytes for s in segs) == arr.nbytes
+    assert reassemble(segs) is arr
+
+
+def test_reassemble_rejects_incomplete_sets():
+    segs = fragment(bytes(500), 100)
+    with pytest.raises(ValueError):
+        reassemble(segs[:-1])
+    with pytest.raises(ValueError):
+        reassemble([])
+
+
+def test_reassembler_tracks_missing_and_duplicates():
+    segs = fragment(bytes(450), 100)         # 5 segments
+    r = Reassembler(5)
+    assert r.missing() == {0, 1, 2, 3, 4}
+    assert r.add(segs[2])
+    assert not r.add(segs[2])                # duplicate
+    assert r.duplicates == 1
+    assert r.missing() == {0, 1, 3, 4}
+    assert not r.complete
+    with pytest.raises(ValueError):
+        r.result()
+    for s in segs:
+        r.add(s)
+    assert r.complete and r.result() == bytes(450)
+    with pytest.raises(ValueError):
+        r.add(Segment(9, 7, 0, b""))         # foreign segment set
+
+
+# ---------------------------------------------------------- loss filters
+def drop_first_copy_of(indices):
+    """Induced loss: drop the first arrival of the given segment indices
+    (per broadcast sequence), second copies pass."""
+    dropped = set()
+
+    def flt(dgram):
+        if dgram.kind != "mcast-seg":
+            return False
+        _root, seq, seg = dgram.payload
+        key = (seq, seg.index)
+        if seg.index in indices and key not in dropped:
+            dropped.add(key)
+            return True
+        return False
+
+    return flt
+
+
+# ----------------------------------------------------- seg-nack broadcast
+@pytest.mark.parametrize("n", [1, 2, 4, 6, 9])
+@pytest.mark.parametrize("nbytes", [0, 1000, 5000, 20_000])
+def test_seg_nack_bcast_correct_lossless(n, nbytes):
+    payload = bytes(nbytes)
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [True] * n
+    assert result.stats["retransmissions"] == 0
+
+
+def test_seg_nack_bcast_nonzero_root_and_objects():
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        obj = {"data": bytes(4000)} if env.rank == 2 else None
+        out = yield from env.comm.bcast(obj, 2)
+        return out == {"data": bytes(4000)}
+
+    result = run_spmd(5, main, params=QUIET)
+    assert result.returns == [True] * 5
+
+
+def test_seg_nack_repairs_induced_loss():
+    """Receivers NACK missing segments; the root resends only those."""
+    payload = bytes(20_000)                    # 14 segments at 1460 B
+    lost = {2, 5, 11}
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank in (1, 3):
+            env.comm.mcast.data_sock.drop_filter = drop_first_copy_of(lost)
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [True] * 4
+    # selective repair: exactly the union was re-multicast, once
+    assert result.stats["retransmissions"] == len(lost)
+    assert result.stats["frames_by_kind"]["mcast-seg"] == 14 + len(lost)
+
+
+def test_seg_nack_repairs_lost_tail_via_drain_timeout():
+    """Losing the last segment exercises the drain-timeout path (no
+    higher-index arrival can end the round early)."""
+    payload = bytes(20_000)
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = drop_first_copy_of({13})
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(3, main, params=QUIET)
+    assert result.returns == [True] * 3
+    assert result.stats["retransmissions"] == 1
+
+
+def test_seg_nack_survives_repeated_loss_rounds():
+    """A segment whose first AND second copies are dropped needs two
+    repair rounds."""
+    payload = bytes(10_000)                    # 7 segments
+    copies = {}
+
+    def flt(dgram):
+        if dgram.kind != "mcast-seg":
+            return False
+        _root, seq, seg = dgram.payload
+        if seg.index != 3:
+            return False
+        seen = copies.get((seq, seg.index), 0)
+        copies[(seq, seg.index)] = seen + 1
+        return seen < 2                        # drop first two copies
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = flt
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(3, main, params=QUIET)
+    assert result.returns == [True] * 3
+    assert result.stats["retransmissions"] == 2
+
+
+def test_seg_nack_back_to_back_with_other_collectives():
+    """Segmented broadcasts interleave cleanly with barriers and the
+    classic scouted broadcast on the same channel."""
+    payloads = [bytes(3000), bytes(17_001), bytes(1)]
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack", barrier="mcast")
+        got = []
+        for p in payloads:
+            out = yield from env.comm.bcast(p if env.rank == 0 else None, 0)
+            got.append(out == p)
+            yield from env.comm.barrier()
+        env.comm.use_collectives(bcast="mcast-binary")
+        out = yield from env.comm.bcast("tail" if env.rank == 0 else None, 0)
+        got.append(out == "tail")
+        return all(got)
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [True] * 4
+
+
+def test_seg_nack_frame_count_formula():
+    """Loss-free frame counts match the module's documented formula."""
+    payload = bytes(48_000)                    # 33 segments at 1460 B
+    n = 4
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return len(out)
+
+    result = run_spmd(n, main, params=QUIET)
+    assert result.returns == [48_000] * n
+    kinds = result.stats["frames_by_kind"]
+    observed = sum(kinds.get(k, 0) for k in
+                   ("mcast-seg", "mcast-seg-hdr", "seg-report", "seg-dec",
+                    "scout"))
+    assert observed == seg_nack_frame_count(n, 33)
+    assert kinds["mcast-seg"] == 33
+    assert kinds["mcast-seg-hdr"] == 1
+    assert kinds["seg-report"] == n - 1
+    assert kinds["seg-dec"] == n - 1
+
+
+# -------------------------------------------------- seg-paced allgather
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_seg_paced_allgather_correct(n):
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        mine = bytes([env.rank]) * (3000 + env.rank)
+        out = yield from env.comm.allgather(mine)
+        return [len(x) for x in out]
+
+    result = run_spmd(n, main, params=QUIET)
+    expected = [3000 + r for r in range(n)]
+    assert result.returns == [expected] * n
+
+
+def test_seg_paced_allgather_matches_paced():
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-paced")
+        a = yield from env.comm.allgather(bytes([env.rank]) * 4000)
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        b = yield from env.comm.allgather(bytes([env.rank]) * 4000)
+        return a == b
+
+    result = run_spmd(5, main, params=QUIET)
+    assert all(result.returns)
+
+
+def test_seg_paced_allgather_loss_raises_mcastlost():
+    """Without NACK repair, an induced loss surfaces as McastLost, never
+    a hang."""
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        if env.rank == 2:
+            env.comm.mcast.data_sock.drop_filter = drop_first_copy_of({1})
+        out = yield from env.comm.allgather(bytes(5000))
+        return len(out)
+
+    with pytest.raises(McastLost):
+        run_spmd(4, main, params=QUIET)
+
+
+def test_seg_nack_gives_up_cleanly_on_unrepairable_loss():
+    """If a segment can never be delivered, the root aborts the repair
+    loop AND tells the receivers, so every rank raises instead of the
+    receivers hanging in an arm gather the root will never serve."""
+    few = quiet(FAST_ETHERNET_SWITCH.__class__(**{
+        **FAST_ETHERNET_SWITCH.__dict__, "max_retransmits": 3}))
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = (
+                lambda d: d.kind == "mcast-seg" and d.payload[2].index == 2)
+        out = yield from env.comm.bcast(
+            bytes(10_000) if env.rank == 0 else None, 0)
+        return len(out)
+
+    with pytest.raises(RuntimeError, match="gave up|root gave up"):
+        run_spmd(3, main, params=few)

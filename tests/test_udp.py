@@ -257,3 +257,69 @@ def test_fragmented_datagram_reassembles():
     sim.run()
     assert got == [("big", 5000)]
     assert cl.stats.frames_sent == 4  # paper's floor(M/T)+1 with M=5000
+
+
+def test_close_fails_pending_posted_recv():
+    """Regression: closing a socket used to leave posted receives
+    pending forever, surfacing as an end-of-sim DeadlockError instead of
+    a clear error at the blocked receiver."""
+    from repro.simnet.udp import SocketClosed
+
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100)
+    caught = []
+
+    def receiver():
+        try:
+            yield from rx.recv()
+        except SocketClosed as exc:
+            caught.append(exc)
+
+    def closer():
+        yield sim.timeout(100)
+        rx.close()
+
+    sim.process(receiver())
+    sim.process(closer())
+    sim.run()                        # DeadlockError here before the fix
+    assert len(caught) == 1
+
+
+def test_close_fails_every_pending_descriptor():
+    from repro.simnet.udp import SocketClosed
+
+    cl, sim, h0, h1 = make2()
+    rx = h1.socket(100, posted_only=True)
+    posted = rx.post_recv_many(3)
+    rx.close()
+    sim.run()
+    assert all(ev.triggered and not ev.ok for ev in posted)
+    assert all(isinstance(ev._value, SocketClosed) for ev in posted)
+
+
+def test_post_recv_many_and_cancel_recv_all():
+    """Batched descriptors fill in posting order; cancel_recv_all
+    withdraws exactly the untriggered ones."""
+    cl, sim, h0, h1 = make2(topology="switch")
+    rx = h1.socket(100, posted_only=True)
+    tx = h0.socket(101)
+    posted = rx.post_recv_many(3)
+
+    def sender():
+        yield from tx.sendto("one", 32, dst=1, dst_port=100)
+
+    sim.process(sender())
+    sim.run()
+    assert posted[0].triggered and posted[0].value.payload == "one"
+    assert not posted[1].triggered and not posted[2].triggered
+
+    rx.cancel_recv_all(posted)
+
+    def sender2():
+        yield from tx.sendto("two", 32, dst=1, dst_port=100)
+
+    sim.process(sender2())
+    sim.run()
+    # nothing was posted any more: the datagram is a counted drop
+    assert not posted[1].triggered
+    assert cl.stats.drops_not_posted == 1
