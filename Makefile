@@ -1,10 +1,16 @@
 # Developer entry points.  `make smoke` is the CI gate: tier-1 tests plus
 # a tiny segmented-broadcast benchmark invocation, so the benchmark entry
 # points cannot silently rot.
+#
+# CI: .github/workflows/ci.yml runs `make smoke` on every push and PR
+# across Python 3.10-3.12 (uploading benchmarks/results/ as an artifact)
+# and `make lint` as a separate job.  Locally, `make lint` needs ruff on
+# PATH (pip install ruff) and skips with a notice otherwise — CI always
+# installs it, so lint failures cannot slip through.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke bench-segmented
+.PHONY: test smoke lint bench-segmented
 
 test:
 	$(PY) -m pytest -x -q
@@ -12,6 +18,13 @@ test:
 smoke: test
 	REPRO_SEG_SMOKE=1 REPRO_BENCH_REPS=3 $(PY) -m pytest -q \
 		benchmarks/bench_segmented_bcast.py
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI installs it)"; \
+	fi
 
 bench-segmented:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py

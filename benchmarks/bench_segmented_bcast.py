@@ -1,13 +1,20 @@
 """Segmented pipelined broadcast vs whole-payload retransmission.
 
-Sweeps **payload size × segment size × induced loss** for the new
+Sweeps **payload size × transport plan × induced loss** for the
 ``mcast-seg-nack`` broadcast and puts it against the PVM-style
-``mcast-ack`` baseline the paper dismissed.  The loss model drops the
-*first* copy of selected data units at every odd-ranked receiver, so
-every scheme needs its repair machinery each iteration:
+``mcast-ack`` baseline the paper dismissed.  Since PR 2 the sweep
+includes the **adaptive** transport plan (``segment_bytes="auto"``):
+frame-sized segments batched into a single datagram below the
+~10-segment crossover, so small payloads no longer pay the per-segment
+receive tax that used to hand ``mcast-ack`` the small-message end.
 
-* for ``mcast-seg-nack`` the unit is one segment (indices ≡ 3 mod 8),
-  so the root must run one selective repair round per broadcast;
+The loss model drops the *first* copy of selected data units at every
+odd-ranked receiver, so every scheme needs its repair machinery each
+iteration:
+
+* for ``mcast-seg-nack`` the unit is one ``mcast-seg`` datagram whose
+  batch contains a segment with index ≡ 3 mod 8, so the root must run
+  one selective repair round per broadcast;
 * for ``mcast-ack`` the unit is the whole-payload datagram, so the root
   must re-multicast the **entire** payload until the second copy lands.
 
@@ -18,7 +25,13 @@ Assertions (the reproduction criteria for this extension):
    ``mcast-ack``;
 2. per-segment frame counts of loss-free and one-repair-round runs match
    the closed-form formula in :mod:`repro.core.segment`
-   (``seg_nack_frame_count``).
+   (``seg_nack_frame_count``);
+3. the crossover is gone: at **every** payload size in the sweep the
+   auto plan puts no more payload-carrying frames on the wire than
+   ``mcast-ack`` under symmetric first-copy loss, and batching cuts the
+   datagram count to the ``seg_nack_datagram_count`` closed form;
+4. at the below-crossover size, the auto plan's loss-free median beats
+   the fixed per-segment plan's (the receive tax it no longer pays).
 
 ``REPRO_SEG_SMOKE=1`` shrinks the sweep to a single tiny point so CI can
 exercise the entry point in seconds.
@@ -32,20 +45,24 @@ from _common import REPS, SEED, RESULTS_DIR, by_label
 from repro import run_spmd
 from repro.bench import markdown_table, table
 from repro.bench.harness import measure_bcast
-from repro.core.segment import plan_segments, seg_nack_frame_count
+from repro.core.segment import (plan_segments, plan_transport,
+                                seg_nack_datagram_count,
+                                seg_nack_frame_count)
 from repro.simnet import quiet
 from repro.simnet.calibration import FAST_ETHERNET_SWITCH
 
 SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
 
 NPROCS = 4
-SIZES = [12_000] if SMOKE else [12_000, 48_000]
+SIZES = [12_000] if SMOKE else [1000, 12_000, 48_000]
 SEG_BYTES = [1460] if SMOKE else [730, 1460]
 BENCH_REPS = min(REPS, 3) if SMOKE else REPS
 #: wide enough for mcast-ack's full-payload retransmission storms
 WINDOW_US = 150_000.0
 
 QUIET = quiet(FAST_ETHERNET_SWITCH)
+AUTO = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
+QUIET_AUTO = quiet(AUTO)
 
 
 # ---------------------------------------------------------------- loss
@@ -64,19 +81,27 @@ def _drop_first_copy(unit_of):
 
 
 def _seg_unit(dgram):
+    """A ``mcast-seg`` datagram whose batch holds a segment ≡ 3 mod 8."""
     if dgram.kind != "mcast-seg":
         return None
     _root, seq, seg = dgram.payload
-    if seg.index % 8 != 3:
+    segs = seg if isinstance(seg, tuple) else (seg,)
+    if not any(s.index % 8 == 3 for s in segs):
         return None
-    return (seq, seg.index)
+    return (seq, min(s.index for s in segs))
 
 
-def _datagram_unit(dgram):
-    if dgram.kind != "mcast-data":
-        return None
-    _root, seq, _payload = dgram.payload
-    return (seq,)
+def _any_data_unit(kind):
+    """First-copy-per-broadcast unit, symmetric across impls (used by
+    the frame-count comparison so a 1-segment payload still sees loss)."""
+    def unit_of(dgram):
+        if dgram.kind != kind:
+            return None
+        return (dgram.payload[1],)          # the broadcast's seq
+    return unit_of
+
+
+_datagram_unit = _any_data_unit("mcast-data")
 
 
 def _lossy_setup(unit_of):
@@ -87,10 +112,11 @@ def _lossy_setup(unit_of):
 
 
 # ---------------------------------------------------------- frame counts
-def _count_frames(impl, size, params, lossy):
+def _count_frames(impl, size, params, lossy, unit_of=None):
     """One quiet single-shot broadcast; returns (stats, ok)."""
     payload = bytes(size)
-    unit_of = _seg_unit if impl == "mcast-seg-nack" else _datagram_unit
+    if unit_of is None:
+        unit_of = _seg_unit if impl == "mcast-seg-nack" else _datagram_unit
     setup = _lossy_setup(unit_of) if lossy else None
 
     def main(env):
@@ -151,6 +177,39 @@ def check_fewer_frames_than_ack():
     return _seg_frames(seg_stats), _ack_frames(ack_stats)
 
 
+def check_auto_plan_frames():
+    """The crossover criterion: at every size in the sweep, the auto
+    plan's payload-carrying ``mcast-seg`` frames stay at or below
+    ``mcast-ack``'s ``mcast-data`` frames under symmetric first-copy
+    loss, and its datagram count matches the batched closed form
+    loss-free."""
+    pairs = []
+    for size in SIZES:
+        seg_stats, seg_ok = _count_frames(
+            "mcast-seg-nack", size, QUIET_AUTO, lossy=True,
+            unit_of=_any_data_unit("mcast-seg"))
+        ack_stats, ack_ok = _count_frames(
+            "mcast-ack", size, QUIET, lossy=True,
+            unit_of=_any_data_unit("mcast-data"))
+        assert seg_ok and ack_ok
+        seg_data = seg_stats["frames_by_kind"].get("mcast-seg", 0)
+        ack_data = ack_stats["frames_by_kind"].get("mcast-data", 0)
+        assert seg_data <= ack_data, (
+            f"auto seg-nack sent {seg_data} payload frames at {size} B, "
+            f"mcast-ack only {ack_data}")
+        pairs.append((size, seg_data, ack_data))
+
+        # loss-free datagram count matches the batched formula
+        tp = plan_transport(size, QUIET_AUTO)
+        stats, ok = _count_frames("mcast-seg-nack", size, QUIET_AUTO,
+                                  lossy=False)
+        assert ok
+        wireup = stats["frames_by_kind"].get("p2p", 0)
+        assert (stats["datagrams_sent"] - wireup
+                == seg_nack_datagram_count(NPROCS, tp.nsegs, tp.batch))
+    return pairs
+
+
 # ---------------------------------------------------------------- latency
 def _sweep():
     series = []
@@ -163,8 +222,16 @@ def _sweep():
             label=f"seg-nack seg={seg_bytes} lossy"))
     series.append(measure_bcast(
         "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
+        seed=SEED, params=AUTO, window_us=WINDOW_US,
+        setup=_lossy_setup(_seg_unit), label="seg-nack auto lossy"))
+    series.append(measure_bcast(
+        "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
         seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
         label="seg-nack lossless"))
+    series.append(measure_bcast(
+        "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
+        seed=SEED, params=AUTO, window_us=WINDOW_US,
+        label="seg-nack auto lossless"))
     series.append(measure_bcast(
         "mcast-ack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
         seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
@@ -175,10 +242,13 @@ def _sweep():
 def _run():
     nsegs = check_frame_formula()
     seg_frames, ack_frames = check_fewer_frames_than_ack()
+    auto_pairs = check_auto_plan_frames()
     series = _sweep()
+    auto_str = "; ".join(f"{s}B: {a}<={b}" for s, a, b in auto_pairs)
     notes = (f"{SIZES[-1]} B = {nsegs} segments; induced loss at odd "
              f"ranks; seg-nack repaired it in {seg_frames} frames vs "
-             f"ack's {ack_frames}")
+             f"ack's {ack_frames}; auto-plan payload frames vs ack "
+             f"under symmetric loss: {auto_str}")
     return series, notes
 
 
@@ -186,21 +256,31 @@ def test_segmented_bcast(benchmark):
     series, notes = benchmark.pedantic(_run, rounds=1, iterations=1)
 
     seg = by_label(series, f"seg-nack seg={SEG_BYTES[-1]} lossy")
+    auto = by_label(series, "seg-nack auto lossy")
+    auto_clean = by_label(series, "seg-nack auto lossless")
+    fixed_clean = by_label(series, "seg-nack lossless")
     ack = by_label(series, "ack (PVM-style) lossy")
 
     # Selective NACK repair beats whole-payload retransmission at the
-    # many-segment end.  (At single-digit segment counts the per-segment
-    # receive software tax can still favour the one-datagram resend —
-    # the crossover is the point of the sweep, not a defect.)
+    # many-segment end — for the fixed per-segment plan AND the auto one.
     big = SIZES[-1]
     if not SMOKE:
         assert len(plan_segments(big, SEG_BYTES[-1])) >= 32
         assert seg.median(big) < ack.median(big)
+        assert auto.median(big) < ack.median(big)
+        # Below the crossover the auto plan's single batched datagram
+        # drops the per-segment receive tax the fixed plan still pays.
+        below = 12_000
+        assert auto_clean.median(below) < fixed_clean.median(below)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    md = ["# segmented-bcast", "", f"_expectation_: {notes}", "",
-          markdown_table(series, title="segmented bcast median latency (us)")]
-    (RESULTS_DIR / "segmented-bcast.md").write_text("\n".join(md))
+    # Only the full sweep records results: the smoke run's single-point
+    # table must not overwrite the archived perf trajectory.
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        md = ["# segmented-bcast", "", f"_expectation_: {notes}", "",
+              markdown_table(series,
+                             title="segmented bcast median latency (us)")]
+        (RESULTS_DIR / "segmented-bcast.md").write_text("\n".join(md))
     print()
     print(table(series, title=f"segmented bcast (reps={BENCH_REPS}, "
                               f"seed={SEED})"))

@@ -19,19 +19,23 @@ from .ordering import (UnsafeScheduleError, check_safe_schedule,
                        run_bcast_sequence)
 from .scout import (binary_tree_steps, scout_count, scout_gather_binary,
                     scout_gather_linear)
-from .segment import (Reassembler, Segment, allgather_mcast_seg_paced,
-                      bcast_mcast_seg_nack, fragment, plan_segments,
-                      reassemble, seg_nack_frame_count)
+from .segment import (Reassembler, Segment, TransportPlan,
+                      allgather_mcast_seg_paced, bcast_mcast_seg_nack,
+                      chunk_plan, fragment, frame_segment_bytes,
+                      plan_segments, plan_transport, reassemble,
+                      seg_nack_datagram_count, seg_nack_frame_count)
 from . import sequencer  # noqa: F401  (registers mcast-sequencer)
 
 __all__ = [
     "DATA_PORT_BASE", "GROUP_ID_BASE", "MCAST_HEADER_BYTES", "McastChannel",
     "McastLost", "Reassembler", "SCOUT_BYTES", "SCOUT_PORT_BASE", "Segment",
-    "UnsafeScheduleError", "allgather_mcast_paced",
+    "TransportPlan", "UnsafeScheduleError", "allgather_mcast_paced",
     "allgather_mcast_seg_paced", "allgather_mcast_unpaced", "barrier_mcast",
     "barrier_mcast_message_count", "bcast_mcast_ack", "bcast_mcast_binary",
     "bcast_mcast_linear", "bcast_mcast_naive", "bcast_mcast_seg_nack",
-    "binary_tree_steps", "check_safe_schedule", "fragment", "plan_segments",
-    "reassemble", "run_bcast_sequence", "scout_count", "scout_gather_binary",
-    "scout_gather_linear", "seg_nack_frame_count",
+    "binary_tree_steps", "check_safe_schedule", "chunk_plan", "fragment",
+    "frame_segment_bytes", "plan_segments", "plan_transport", "reassemble",
+    "run_bcast_sequence", "scout_count", "scout_gather_binary",
+    "scout_gather_linear", "seg_nack_datagram_count",
+    "seg_nack_frame_count",
 ]

@@ -22,10 +22,13 @@ collectives.
 
 For payloads larger than one MTU the channel also speaks *segments*
 (:mod:`repro.core.segment`): descriptors are posted in batches
-(:meth:`McastChannel.post_data_many`), each segment rides its own
-``mcast-seg`` frame with a per-segment envelope, and the NACK-repair
-control plane (per-round receiver reports, root decisions) rides the
-buffered scout socket so it is immune to the posted-only discipline.
+(:meth:`McastChannel.post_data_many`), each ``mcast-seg`` datagram
+carries one segment or a *batch* of consecutive segments (each with its
+own per-segment envelope), and the NACK-repair control plane (per-round
+receiver reports, root decisions) rides the buffered scout socket so it
+is immune to the posted-only discipline.  Reports additionally carry the
+receiver's descriptor budget (:attr:`McastChannel.recv_budget`), the
+feedback the root's rate pacing adapts its burst length to.
 """
 
 from __future__ import annotations
@@ -74,6 +77,10 @@ class McastChannel:
         self.data_sock.join(self.group)
         self.seq = 0
         self._scout_stash: list[tuple[int, int, str]] = []
+        #: receive-descriptor ring size for segmented rounds (None =
+        #: unbounded).  Seeded from ``NetParams.seg_recv_budget``; tests
+        #: and the overrun benchmark override it per rank.
+        self.recv_budget: Optional[int] = self.params.seg_recv_budget
         #: naive-bcast receive timeout (None = block, may deadlock — that
         #: is the point of the naive baseline); tests/benches set this.
         self.naive_timeout_us: Optional[float] = None
@@ -143,23 +150,26 @@ class McastChannel:
         self._scout_stash = keep
 
     # -- segment reports / decisions (NACK repair control plane) -----------
-    def send_report(self, dst_rank: int, seq: int, rnd: int,
+    def send_report(self, dst_rank: int, seq: int, rnd,
                     missing, nsegs: int) -> Generator:
         """Send a per-round segment report to ``dst_rank``.
 
         ``missing`` is the set of segment indices this rank has not
-        received after round ``rnd`` (empty = everything arrived).  Wire
-        size: a scout plus an ``nsegs``-bit bitmap.  Rides the buffered
-        scout socket, so reports are never lost to the posted-only
-        discipline.
+        received after round ``rnd`` (empty = everything arrived).  The
+        report also carries this rank's descriptor budget
+        (:attr:`recv_budget`) — the feedback the sender's rate pacing
+        adapts to.  Wire size: a scout plus an ``nsegs``-bit bitmap plus
+        a 4-byte budget field.  Rides the buffered scout socket, so
+        reports are never lost to the posted-only discipline.
         """
-        nbytes = SCOUT_BYTES + (nsegs + 7) // 8
+        nbytes = SCOUT_BYTES + (nsegs + 7) // 8 + 4
+        value = (tuple(sorted(missing)), self.recv_budget)
         yield from self.scout_sock.sendto(
-            (self.comm.rank, seq, ("seg-report", rnd, tuple(sorted(missing)))),
+            (self.comm.rank, seq, ("seg-report", rnd, value)),
             nbytes, self.comm.addr_of(dst_rank), self.scout_port,
             kind="seg-report")
 
-    def send_decision(self, dst_rank: int, seq: int, rnd: int,
+    def send_decision(self, dst_rank: int, seq: int, rnd,
                       segments, nsegs: int) -> Generator:
         """Tell ``dst_rank`` what round ``rnd``'s verdict is.
 
@@ -173,7 +183,7 @@ class McastChannel:
             kind="seg-dec")
 
     def wait_tagged(self, src_ranks: set[int], seq: int, tag: str,
-                    rnd: int) -> Generator:
+                    rnd) -> Generator:
         """Collect one ``(tag, rnd, value)`` scout-socket message from
         every rank in ``src_ranks``; returns ``{src: value}``.
 
@@ -271,6 +281,30 @@ class McastChannel:
         yield from self.send_data(
             segment, segment.nbytes + SEG_HEADER_BYTES, seq,
             retransmit=retransmit, kind="mcast-seg")
+
+    def send_batch(self, segments, seq: int,
+                   retransmit: bool = False) -> Generator:
+        """Multicast a batch of segments as **one** ``mcast-seg`` datagram.
+
+        A single-segment batch uses the PR 1 wire format (a bare
+        :class:`~repro.core.segment.Segment` payload); a larger batch
+        ships the tuple of segments in one datagram, each segment still
+        paying its own :data:`SEG_HEADER_BYTES` envelope.  The receiver
+        pays the per-datagram software tax **once** for the whole batch —
+        that is the entire point of batching below the segment-count
+        crossover.
+        """
+        segments = list(segments)
+        if not segments:
+            raise ValueError("cannot send an empty segment batch")
+        if len(segments) == 1:
+            yield from self.send_segment(segments[0], seq,
+                                         retransmit=retransmit)
+            return
+        nbytes = (sum(s.nbytes for s in segments)
+                  + SEG_HEADER_BYTES * len(segments))
+        yield from self.send_data(tuple(segments), nbytes, seq,
+                                  retransmit=retransmit, kind="mcast-seg")
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -26,7 +26,10 @@ gather-plus-broadcast trees.  Two schedules are provided:
 Both build on the per-communicator :class:`~repro.core.channel.McastChannel`.
 For contributions larger than one MTU, :mod:`repro.core.segment` registers
 ``mcast-seg-paced``: the same rank-ordered pacing, with each turn's payload
-fragmented and streamed as a pipeline of single-frame segments.
+fragmented (adaptively sized/batched) and streamed as a pipeline of
+segments, and each turn's sender running the broadcast's selective NACK
+repair rounds — so induced loss or a descriptor-budget overrun is
+repaired by the rank that owns the data instead of raising ``McastLost``.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Segmented, pipelined multicast with selective NACK repair.
+"""Adaptive segmented, pipelined multicast with selective NACK repair.
 
 The paper's reliable baseline (``mcast-ack``) re-multicasts the **whole
 payload** whenever any ack is late — the reason it "did not produce
@@ -11,13 +11,14 @@ broadcasts of Zhou et al. and Träff's multi-lane decompositions:
    Ethernet frame at the default :attr:`NetParams.segment_bytes`;
 2. the root **streams** all segments back-to-back through the
    :class:`~repro.core.channel.McastChannel` (pipelined: the wire
-   serializes while the host prepares the next segment);
-3. receivers pre-post one descriptor per expected segment
-   (``post_data_many``), reassemble by segment index, and report the
-   **bitmap of missing segments** to the root over the buffered scout
-   socket — immediately once the round's highest-index segment arrives
-   (the stream is FIFO, so nothing later is coming), or after
-   ``seg_drain_timeout_us`` of silence when the stream's tail was lost;
+   serializes while the host prepares the next segment), optionally
+   inserting a rate-pacing gap between datagrams (see *pacing* below);
+3. receivers pre-post descriptors (``post_data_many``), reassemble by
+   segment index, and report the **bitmap of missing segments** to the
+   root over the buffered scout socket — immediately once the round's
+   highest-index segment arrives (the stream is FIFO, so nothing later
+   is coming), or after ``seg_drain_timeout_us`` of silence when the
+   stream's tail was lost;
 4. the root re-multicasts **only the union of missing segments**
    (selective NACK repair), round by round, until every receiver reports
    an empty bitmap.
@@ -25,19 +26,32 @@ broadcasts of Zhou et al. and Träff's multi-lane decompositions:
 Round structure of ``mcast-seg-nack`` (N ranks, root r):
 
 * header phase — receivers post one descriptor, scout-sync up the binary
-  tree, root multicasts a tiny header carrying the segment count;
+  tree, root multicasts a tiny header carrying the segment count and the
+  batch factor;
 * round ``k`` — receivers still missing data post one descriptor per
-  planned segment, everyone arms via a binary scout gather, the root
-  streams the round's segments, every receiver reports its missing set,
-  and the root unicasts a per-receiver decision: ``done`` or the next
-  round's repair plan (the sorted union of all missing sets).
+  planned *datagram*, everyone arms via a binary scout gather, the root
+  streams the round's segments, every receiver reports its missing set
+  (plus its descriptor budget), and the root unicasts a per-receiver
+  decision: ``done`` or the next round's repair plan (the sorted union
+  of all missing sets).
 
 All repair control (reports, decisions) rides the **buffered** scout
 socket, so it is immune to the posted-only discipline; only ``mcast-seg``
 data frames can be lost.  Because every receiver learns the exact repair
-plan before arming, descriptor counts always match the frames the root
+plan before arming, descriptor counts always match the datagrams the root
 will send — no repair frame can steal a descriptor belonging to a later
 protocol step.
+
+**Adaptive transport plan** (:func:`plan_transport`).  With
+``NetParams.segment_bytes = "auto"`` the logical segment size is derived
+from the MTU (one segment per Ethernet frame), and the **batch factor**
+adapts to the payload: below :attr:`NetParams.seg_auto_crossover`
+segments the whole round ships as a *single* batched datagram — one
+receive-descriptor, one per-datagram software tax — so small payloads
+never pay the per-segment receive tax that put the PR 1 crossover
+against ``mcast-ack`` at ~10 segments.  Above the crossover the batch
+factor drops to 1 for full selective-repair granularity.  Explicit
+integer ``segment_bytes`` / ``seg_batch`` values override the policy.
 
 **Frame-count formula** (asserted by ``benchmarks/bench_segmented_bcast.py``
 and ``tests/test_segment.py``).  For N ranks, S segments, R repair rounds
@@ -52,18 +66,44 @@ re-sending unions U_1..U_R (U_0 = all S segments)::
                       + (N-1)                 # per-receiver decisions
                     = 1 + (N-1)(3(R+1) + 1) + S + sum(|U_r|, r >= 1)
 
-Loss-free this is ``1 + 4(N-1) + S`` — linear in payload like the
-paper's single multicast, with a constant per-round synchronization tax;
-under loss, repair cost is proportional to what was actually lost, not to
-the payload (contrast ``mcast-ack``: one full S-frame resend per timeout).
+**Batched generalization.**  With batch factor B, round r's |U_r|
+segments ride ``ceil(|U_r| / B)`` datagrams instead of |U_r|.  The
+*Ethernet frame* count above is unchanged for frame-sized segments: a
+batched datagram of k segments IP-fragments into exactly k frames,
+because each extra segment adds 4 envelope bytes
+(:data:`~repro.core.channel.SEG_HEADER_BYTES`) while each extra fragment
+offers 20 bytes of header slack.  What batching changes is the
+*datagram* count — the unit of per-receive software tax and of
+descriptor usage::
 
-The allgather variant ``mcast-seg-paced`` applies the same segmentation
-to the many-to-many case: after the paced ready round, each rank takes a
-turn announcing its segment count, waiting for everyone to arm, then
-streaming its segments.  Pacing (the paper's §5 overrun fix) already
-guarantees descriptors are posted in time, so this variant relies on arm
-synchronization instead of NACK repair and raises
-:class:`~repro.core.mcast_bcast.McastLost` if a segment is lost anyway.
+    datagrams(N, S, R, B) = 1 + (N-1)(3(R+1) + 1)
+                          + ceil(S/B) + sum(ceil(|U_r|/B), r >= 1)
+
+(:func:`seg_nack_frame_count` / :func:`seg_nack_datagram_count` export
+both closed forms.)  Loss-free this is ``1 + 4(N-1) + S`` frames —
+linear in payload like the paper's single multicast, with a constant
+per-round synchronization tax; under loss, repair cost is proportional
+to what was actually lost, not to the payload (contrast ``mcast-ack``:
+one full S-frame resend per timeout).
+
+**Pacing** (paper §5: "a set of fast senders overrunning a single
+receiver").  Receivers may run a finite descriptor ring
+(:attr:`McastChannel.recv_budget`): they post at most that many
+descriptors and re-post one as each datagram is consumed.  An unpaced
+burst longer than the ring then *overruns* the receiver — the dropped
+datagrams are NACK-repaired, but each costs a repair round.  The root
+therefore paces its stream: ``NetParams.seg_pace_gap_us`` inserts an
+inter-datagram gap (``"auto"`` derives it from the receiver drain
+estimate :meth:`NetParams.seg_drain_estimate_us`), and with
+``seg_pace_feedback`` the NACK reports' budget field makes the root
+shrink its burst to the smallest reported ring and auto-pace every
+repair round — slow receivers throttle the stream instead of losing it.
+
+The allgather variant ``mcast-seg-paced`` applies the same machinery to
+the many-to-many case: after the paced ready round, each rank takes a
+turn as the "root" of exactly the broadcast round structure above —
+header, arm, stream, report, decision — so a lost segment is selectively
+repaired by its sender instead of surfacing as ``McastLost``.
 """
 
 from __future__ import annotations
@@ -73,14 +113,15 @@ from typing import Any, Generator, Optional
 
 from ..mpi.collective.registry import register
 from ..mpi.datatypes import payload_bytes
-from .channel import SEG_HEADER_BYTES
+from .channel import MCAST_HEADER_BYTES, SEG_HEADER_BYTES
 from .mcast_allgather import _ready_round
-from .mcast_bcast import McastLost
 from .scout import scout_gather_binary
 
-__all__ = ["Segment", "Reassembler", "plan_segments", "fragment",
-           "reassemble", "bcast_mcast_seg_nack",
-           "allgather_mcast_seg_paced", "seg_nack_frame_count"]
+__all__ = ["Segment", "Reassembler", "TransportPlan", "plan_transport",
+           "frame_segment_bytes", "chunk_plan", "plan_segments",
+           "fragment", "reassemble", "bcast_mcast_seg_nack",
+           "allgather_mcast_seg_paced", "seg_nack_frame_count",
+           "seg_nack_datagram_count"]
 
 
 @dataclass(frozen=True)
@@ -113,6 +154,65 @@ def plan_segments(nbytes: int, segment_bytes: int) -> list[int]:
         return [0]
     full, part = divmod(nbytes, segment_bytes)
     return [segment_bytes] * full + ([part] if part else [])
+
+
+def frame_segment_bytes(params) -> int:
+    """The largest segment that still rides a single Ethernet frame:
+    one MTU's UDP payload minus the data and per-segment envelopes."""
+    return max(1, params.max_udp_payload
+               - MCAST_HEADER_BYTES - SEG_HEADER_BYTES)
+
+
+@dataclass(frozen=True)
+class TransportPlan:
+    """The resolved segmentation policy for one payload: logical segment
+    size, segments per datagram, and the resulting counts."""
+
+    segment_bytes: int  #: user bytes per logical segment
+    batch: int          #: logical segments per ``mcast-seg`` datagram
+    nsegs: int          #: total logical segments of the payload
+
+    @property
+    def ndatagrams(self) -> int:
+        """Data datagrams of the loss-free round (``ceil(S/B)``)."""
+        return -(-self.nsegs // self.batch)
+
+
+def plan_transport(nbytes: int, params) -> TransportPlan:
+    """Resolve ``NetParams.segment_bytes`` / ``seg_batch`` for a payload.
+
+    * explicit int ``segment_bytes`` → that size, batch 1 (PR 1 wire
+      behaviour) unless ``seg_batch`` is an explicit int;
+    * ``segment_bytes="auto"`` → frame-sized segments, and (with
+      ``seg_batch="auto"``, the default) the whole payload batched into
+      one datagram below ``seg_auto_crossover`` segments, batch 1 above
+      it — small payloads never pay the per-segment receive tax, large
+      ones keep full selective-repair granularity.
+    """
+    auto = params.segment_bytes == "auto"
+    seg = frame_segment_bytes(params) if auto else params.segment_bytes
+    nsegs = len(plan_segments(nbytes, seg))
+    batch = params.seg_batch
+    if not isinstance(batch, int):
+        batch = (nsegs if auto and nsegs <= params.seg_auto_crossover
+                 else 1)
+    if batch < 1:
+        raise ValueError(f"seg_batch must be >= 1, got {batch}")
+    return TransportPlan(segment_bytes=seg, batch=min(batch, nsegs),
+                         nsegs=nsegs)
+
+
+def chunk_plan(plan: list[int], batch: int) -> list[list[int]]:
+    """Group a round's segment indices into per-datagram batches.
+
+    Both sides compute this identically from (plan, batch), so the
+    receiver's descriptor count always equals the sender's datagram
+    count.  Repair plans re-batch: scattered losses from different
+    original batches pack together into fewer repair datagrams.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return [plan[i:i + batch] for i in range(0, len(plan), batch)]
 
 
 def fragment(obj: Any, segment_bytes: int) -> list[Segment]:
@@ -189,9 +289,10 @@ class Reassembler:
 
 def seg_nack_frame_count(n: int, nsegs: int,
                          repairs: Optional[list[int]] = None) -> int:
-    """The documented frame-count formula (see module docstring).
+    """The documented *frame*-count formula (see module docstring).
 
-    ``repairs`` lists ``|U_r|`` for each repair round r >= 1.
+    ``repairs`` lists ``|U_r|`` for each repair round r >= 1.  Valid for
+    every batch factor as long as segments are single-frame sized.
     """
     if n < 2:
         return 0
@@ -200,26 +301,105 @@ def seg_nack_frame_count(n: int, nsegs: int,
     return 1 + (n - 1) * (3 * rounds + 1) + nsegs + sum(repairs)
 
 
-# ----------------------------------------------------------------------
-# shared receive loop
-# ----------------------------------------------------------------------
-def _consume_round(comm, channel, posted, seq, reasm: Reassembler,
-                   last_index: int) -> Generator:
-    """Drain one round's posted descriptors into ``reasm``.
+def seg_nack_datagram_count(n: int, nsegs: int, batch: int = 1,
+                            repairs: Optional[list[int]] = None) -> int:
+    """The documented *datagram*-count formula (see module docstring):
+    like :func:`seg_nack_frame_count` but counting per-receive software
+    events, so the data terms shrink by the batch factor."""
+    if n < 2:
+        return 0
+    repairs = repairs or []
+    rounds = 1 + len(repairs)
+    data = -(-nsegs // batch) + sum(-(-u // batch) for u in repairs)
+    return 1 + (n - 1) * (3 * rounds + 1) + data
 
-    Segments stream in index order over a FIFO wire, so the round ends
+
+# ----------------------------------------------------------------------
+# root-side rate pacing (paper §5 overrun)
+# ----------------------------------------------------------------------
+class _RootPacer:
+    """Inter-datagram pacing state for one sender's segment stream.
+
+    The *gap* is the idle time the root inserts before each data
+    datagram past the *burst*; the burst is the receivers' smallest
+    known descriptor ring (``None`` = unbounded, no pacing unless a gap
+    is configured).  The auto gap covers the receiver drain estimate
+    with margin, so a ring of even one descriptor is re-posted before
+    the next datagram can arrive.
+    """
+
+    def __init__(self, params, datagram_bytes: int):
+        drain = params.seg_drain_estimate_us(datagram_bytes)
+        # 25% + 10 µs of margin over the drain estimate absorbs the
+        # skew between a receiver's re-post and the next wire arrival.
+        self._auto_gap = 1.25 * drain + 10.0
+        gap = params.seg_pace_gap_us
+        self.gap_us = self._auto_gap if gap == "auto" else float(gap)
+        self.burst: Optional[int] = params.seg_recv_budget
+        self._feedback = params.seg_pace_feedback
+
+    def note_budgets(self, budgets) -> None:
+        """Fold the budgets carried by a round's NACK reports in.
+
+        With feedback enabled, learning that any receiver runs a finite
+        ring turns pacing on for the rounds that follow.
+        """
+        finite = [b for b in budgets if b is not None]
+        if not finite:
+            return
+        smallest = min(finite)
+        self.burst = (smallest if self.burst is None
+                      else min(self.burst, smallest))
+        if self._feedback and self.gap_us <= 0:
+            self.gap_us = self._auto_gap
+
+    def delay_before(self, index: int) -> float:
+        """Gap (µs) to insert before the round's ``index``-th datagram."""
+        if self.gap_us <= 0:
+            return 0.0
+        burst = 1 if self.burst is None else max(1, self.burst)
+        return self.gap_us if index >= burst else 0.0
+
+
+# ----------------------------------------------------------------------
+# shared round machinery (used by the bcast root and each allgather turn)
+# ----------------------------------------------------------------------
+def _post_round(channel, ndatagrams: int) -> list:
+    """Post the round's initial descriptor window — MUST precede the
+    arming scout.  A finite ``recv_budget`` caps the window at the ring
+    size; :func:`_consume_round` slides it as datagrams are consumed."""
+    budget = channel.recv_budget
+    if budget is not None:
+        ndatagrams = max(1, min(budget, ndatagrams))
+    return channel.post_data_many(ndatagrams)
+
+
+def _consume_round(comm, channel, posted, ndatagrams: int, seq,
+                   reasm: Reassembler, last_index: int) -> Generator:
+    """Drain one round's datagrams into ``reasm``.
+
+    ``posted`` is the pre-arm descriptor window; up to ``ndatagrams``
+    descriptors are issued in total, re-posting one as each arrival is
+    consumed (the sliding ring of a budget-limited receiver — a re-post
+    that loses the race against an unpaced burst is exactly the paper's
+    §5 overrun, surfacing as a missing segment in the NACK report).
+
+    Datagrams stream in plan order over a FIFO wire, so the round ends
     the moment ``last_index`` (the highest index of the round's plan)
-    arrives — any descriptor still empty then belongs to a lost segment
+    arrives — any descriptor still empty then belongs to a lost datagram
     and is cancelled immediately, keeping the NACK on the critical path
     instead of a timeout.  Only when the *tail* of the stream is lost
     does the receiver fall back to ``seg_drain_timeout_us`` of silence.
     Either way every leftover descriptor is withdrawn — leaving one
     behind would swallow a later collective's traffic.  Non-segment or
-    stale-sequence datagrams waste their descriptor; the segment they
-    displaced is simply reported missing and repaired next round.
+    stale-sequence datagrams waste their descriptor; the segments they
+    displaced are simply reported missing and repaired next round.
     """
     drain_us = comm.host.params.seg_drain_timeout_us
-    for i, ev in enumerate(posted):
+    issued = len(posted)
+    i = 0
+    while i < len(posted):
+        ev = posted[i]
         if not ev.triggered:
             timer = comm.sim.timeout(drain_us)
             yield comm.sim.any_of([ev, timer])
@@ -227,11 +407,118 @@ def _consume_round(comm, channel, posted, seq, reasm: Reassembler,
                 channel.cancel_data(posted[i:])
                 return
         _src, got_seq, payload = yield from channel.wait_data(ev)
-        if got_seq == seq and isinstance(payload, Segment):
-            reasm.add(payload)
-            if payload.index == last_index:
-                channel.cancel_data(posted[i + 1:])
-                return
+        i += 1
+        if issued < ndatagrams:
+            posted.append(channel.post_data())
+            issued += 1
+        if got_seq != seq:
+            continue
+        if isinstance(payload, Segment):
+            batch = (payload,)
+        elif (isinstance(payload, tuple) and payload
+                and isinstance(payload[0], Segment)):
+            batch = payload
+        else:
+            continue
+        done = False
+        for seg in batch:
+            reasm.add(seg)
+            done = done or seg.index == last_index
+        if done:
+            channel.cancel_data(posted[i:])
+            return
+
+
+def _serve_rounds(comm, channel, seq, root: int, segments, batch: int,
+                  receivers, arm_phase, rnd_token) -> Generator:
+    """Sender side of the NACK repair loop: arm, stream (paced), collect
+    reports, decide, repair — until every receiver reports complete.
+
+    ``arm_phase(rnd)`` / ``rnd_token(rnd)`` namespace the scout phases
+    and report/decision rounds, so the broadcast and each allgather turn
+    reuse this machinery without cross-matching each other's control
+    traffic.
+    """
+    params = comm.host.params
+    nsegs = len(segments)
+    datagram_bytes = (batch * max(s.nbytes for s in segments)
+                      + batch * SEG_HEADER_BYTES + MCAST_HEADER_BYTES)
+    pacer = _RootPacer(params, datagram_bytes)
+    plan = list(range(nsegs))
+    rnd = 0
+    while True:
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase=arm_phase(rnd))
+        for i, chunk in enumerate(chunk_plan(plan, batch)):
+            delay = pacer.delay_before(i)
+            if delay > 0:
+                yield comm.sim.timeout(delay)
+            yield from channel.send_batch([segments[j] for j in chunk],
+                                          seq, retransmit=rnd > 0)
+        reports = yield from channel.wait_tagged(receivers, seq,
+                                                 "seg-report",
+                                                 rnd_token(rnd))
+        union: set[int] = set()
+        budgets = []
+        for missing, budget in reports.values():
+            union.update(missing)
+            budgets.append(budget)
+        pacer.note_budgets(budgets)
+        if not union:
+            decision = None
+        elif rnd >= params.max_retransmits:
+            decision = "abort"      # tell receivers before raising,
+        else:                       # so nobody arms a dead round
+            decision = tuple(sorted(union))
+        for dst in sorted(receivers):
+            yield from channel.send_decision(dst, seq, rnd_token(rnd),
+                                             decision, nsegs)
+        if decision is None:
+            return
+        if decision == "abort":
+            raise RuntimeError(
+                f"rank {comm.rank}: gave up after {rnd} repair rounds "
+                f"for seq={seq}; still missing segments {sorted(union)}")
+        rnd += 1
+        plan = list(decision)
+
+
+def _follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
+                   arm_phase, rnd_token) -> Generator:
+    """Receiver side of the NACK repair loop; returns the full
+    :class:`Reassembler`.
+
+    A fully-reassembled receiver keeps arming/reporting (other ranks may
+    still need repairs) but posts no descriptors, so the repair frames
+    it does not need die at its posted-only socket.
+    """
+    reasm = Reassembler(nsegs)
+    plan = list(range(nsegs))
+    rnd = 0
+    while True:
+        if reasm.complete:
+            posted, ndatagrams = [], 0
+        else:
+            ndatagrams = len(chunk_plan(plan, batch))
+            posted = _post_round(channel, ndatagrams)
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase=arm_phase(rnd))
+        yield from _consume_round(comm, channel, posted, ndatagrams, seq,
+                                  reasm, last_index=plan[-1])
+        yield from channel.send_report(root, seq, rnd_token(rnd),
+                                       reasm.missing(), nsegs)
+        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
+                                                  rnd_token(rnd))
+        plan_t = decision[root]
+        if plan_t is None:
+            return reasm
+        if plan_t == "abort":
+            raise RuntimeError(
+                f"rank {comm.rank}: root gave up repairing segmented "
+                f"transfer seq={seq}; still missing "
+                f"{sorted(reasm.missing())}")
+        plan = list(plan_t)
+        rnd += 1
 
 
 # ----------------------------------------------------------------------
@@ -248,43 +535,17 @@ def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
     receivers = {r for r in range(comm.size) if r != root}
 
     if comm.rank == root:
-        segments = fragment(obj, params.segment_bytes)
-        nsegs = len(segments)
+        tplan = plan_transport(payload_bytes(obj), params)
+        segments = fragment(obj, tplan.segment_bytes)
         yield from scout_gather_binary(comm, channel, seq, root,
                                        phase="seg-hdr")
-        yield from channel.send_data(("seg-hdr", nsegs), SEG_HEADER_BYTES,
-                                     seq, control=True,
-                                     kind="mcast-seg-hdr")
-        plan = list(range(nsegs))
-        rnd = 0
-        while True:
-            yield from scout_gather_binary(comm, channel, seq, root,
-                                           phase=("seg-arm", rnd))
-            for idx in plan:
-                yield from channel.send_segment(segments[idx], seq,
-                                                retransmit=rnd > 0)
-            reports = yield from channel.wait_tagged(receivers, seq,
-                                                     "seg-report", rnd)
-            union: set[int] = set()
-            for missing in reports.values():
-                union.update(missing)
-            if not union:
-                decision = None
-            elif rnd >= params.max_retransmits:
-                decision = "abort"      # tell receivers before raising,
-            else:                       # so nobody arms a dead round
-                decision = tuple(sorted(union))
-            for dst in sorted(receivers):
-                yield from channel.send_decision(dst, seq, rnd, decision,
-                                                 nsegs)
-            if decision is None:
-                return obj
-            if decision == "abort":
-                raise RuntimeError(
-                    f"bcast_mcast_seg_nack: gave up after {rnd} repair "
-                    f"rounds; still missing segments {sorted(union)}")
-            rnd += 1
-            plan = list(decision)
+        yield from channel.send_data(
+            ("seg-hdr", tplan.nsegs, tplan.batch), SEG_HEADER_BYTES, seq,
+            control=True, kind="mcast-seg-hdr")
+        yield from _serve_rounds(
+            comm, channel, seq, root, segments, tplan.batch, receivers,
+            arm_phase=lambda r: ("seg-arm", r), rnd_token=lambda r: r)
+        return obj
 
     # Receiver: header phase — one descriptor, posted before the scout.
     hdr_posted = channel.post_data()
@@ -298,49 +559,27 @@ def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
         # A straggler frame consumed the descriptor; re-post and re-wait
         # (the header cannot overtake same-source stragglers: FIFO wire).
         hdr_posted = channel.post_data()
-    nsegs = hdr[1]
-    reasm = Reassembler(nsegs)
-    plan = list(range(nsegs))
-    rnd = 0
-    while True:
-        # A fully-reassembled receiver keeps arming/reporting (other
-        # ranks may still need repairs) but posts no descriptors, so the
-        # repair frames it does not need die at its posted-only socket.
-        posted = (channel.post_data_many(len(plan))
-                  if not reasm.complete else [])
-        yield from scout_gather_binary(comm, channel, seq, root,
-                                       phase=("seg-arm", rnd))
-        yield from _consume_round(comm, channel, posted, seq, reasm,
-                                  last_index=plan[-1])
-        yield from channel.send_report(root, seq, rnd, reasm.missing(),
-                                       nsegs)
-        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
-                                                  rnd)
-        plan_t = decision[root]
-        if plan_t is None:
-            break
-        if plan_t == "abort":
-            raise RuntimeError(
-                f"rank {comm.rank}: root gave up repairing segmented "
-                f"bcast seq={seq}; still missing {sorted(reasm.missing())}")
-        plan = list(plan_t)
-        rnd += 1
+    _tag, nsegs, batch = hdr
+    reasm = yield from _follow_rounds(
+        comm, channel, seq, root, nsegs, batch,
+        arm_phase=lambda r: ("seg-arm", r), rnd_token=lambda r: r)
     return reasm.result()
 
 
 # ----------------------------------------------------------------------
-# allgather: per-turn segmented streaming, paced by arm synchronization
+# allgather: per-turn segmented streaming with per-turn NACK repair
 # ----------------------------------------------------------------------
 @register("allgather", "mcast-seg-paced")
 def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
     """Rank-ordered allgather with segmented, pipelined contributions.
 
-    Per turn: the sender waits for a header scout from everyone, announces
-    its segment count in a tiny control multicast, waits for everyone to
-    arm one descriptor per segment, then streams the segments
-    back-to-back.  Arm synchronization makes losses impossible under the
-    paper's readiness model; a loss injected anyway (fault filters)
-    surfaces as :class:`McastLost` rather than a hang.
+    Per turn: the sender runs exactly the broadcast round structure with
+    itself as root — header scout gather, segment-count announcement,
+    arm gather, (paced) segment stream, NACK reports, decisions, repair
+    rounds.  Arm synchronization still makes losses impossible under the
+    paper's readiness model; a loss injected anyway (``drop_filter``
+    fault injection, or a descriptor-budget overrun) is now selectively
+    repaired by the turn's sender instead of raising ``McastLost``.
     """
     channel = comm.mcast
     params = comm.host.params
@@ -349,28 +588,34 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
     if size == 1:
         return [obj]
 
-    mine = fragment(obj, params.segment_bytes)
+    tplan = plan_transport(payload_bytes(obj), params)
+    mine = fragment(obj, tplan.segment_bytes)
     results: list[Any] = [None] * size
     results[comm.rank] = obj
 
     yield from _ready_round(comm, channel, seq)
 
     for turn in range(size):
+        def arm_phase(r, t=turn):
+            return ("ag-arm", t, r)
+
+        def rnd_token(r, t=turn):
+            return ("ag", t, r)
+
         if turn == comm.rank:
             others = {r for r in range(size) if r != turn}
-            yield from channel.wait_scouts(others, seq,
+            yield from scout_gather_binary(comm, channel, seq, turn,
                                            phase=("ag-hdr", turn))
-            yield from channel.send_data(("seg-hdr", turn, len(mine)),
-                                         SEG_HEADER_BYTES, seq,
-                                         control=True,
-                                         kind="mcast-seg-hdr")
-            yield from channel.wait_scouts(others, seq,
-                                           phase=("ag-arm", turn))
-            for seg in mine:
-                yield from channel.send_segment(seg, seq)
+            yield from channel.send_data(
+                ("seg-hdr", turn, tplan.nsegs, tplan.batch),
+                SEG_HEADER_BYTES, seq, control=True, kind="mcast-seg-hdr")
+            yield from _serve_rounds(comm, channel, seq, turn, mine,
+                                     tplan.batch, others, arm_phase,
+                                     rnd_token)
             continue
         hdr_posted = channel.post_data()
-        yield from channel.send_scout(turn, seq, phase=("ag-hdr", turn))
+        yield from scout_gather_binary(comm, channel, seq, turn,
+                                       phase=("ag-hdr", turn))
         src, got_seq, hdr = yield from channel.wait_data(hdr_posted)
         if (got_seq != seq or src != turn or not isinstance(hdr, tuple)
                 or hdr[0] != "seg-hdr" or hdr[1] != turn):
@@ -378,12 +623,8 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
                 f"rank {comm.rank}: seg-paced allgather pacing violated "
                 f"(expected turn {turn} header, got src={src}, "
                 f"payload={hdr!r}, seq={got_seq}/{seq})")
-        reasm = Reassembler(hdr[2])
-        posted = channel.post_data_many(hdr[2])
-        yield from channel.send_scout(turn, seq, phase=("ag-arm", turn))
-        yield from _consume_round(comm, channel, posted, seq, reasm,
-                                  last_index=hdr[2] - 1)
-        if not reasm.complete:
-            raise McastLost(comm.rank, seq)
+        reasm = yield from _follow_rounds(comm, channel, seq, turn,
+                                         hdr[2], hdr[3], arm_phase,
+                                         rnd_token)
         results[turn] = reasm.result()
     return results

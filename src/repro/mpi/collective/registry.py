@@ -47,9 +47,14 @@ def register(op: str, name: str) -> Callable:
 
 def get_impl(op: str, name: str) -> Callable:
     try:
-        return REGISTRY[op][name]
+        impls = REGISTRY[op]
     except KeyError:
-        known = sorted(REGISTRY.get(op, {}))
+        raise KeyError(
+            f"unknown collective op {op!r}; "
+            f"known ops: {sorted(REGISTRY)}") from None
+    try:
+        return impls[name]
+    except KeyError:
         raise KeyError(
             f"no implementation {name!r} for collective {op!r}; "
-            f"known: {known}") from None
+            f"known: {sorted(impls)}") from None

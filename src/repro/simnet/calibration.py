@@ -78,14 +78,46 @@ class NetParams:
     #: user bytes per segment.  1460 + the 12-byte segment envelope fills
     #: exactly one UDP/IP MTU (1472 payload bytes), so every segment is a
     #: single Ethernet frame and the frame-count formula in
-    #: :mod:`repro.core.segment` holds with one frame per segment.
-    segment_bytes: int = 1460
+    #: :mod:`repro.core.segment` holds with one frame per segment.  The
+    #: string ``"auto"`` selects the adaptive policy of
+    #: :func:`repro.core.segment.plan_transport`: frame-sized logical
+    #: segments, with the whole payload batched into a single datagram
+    #: below :attr:`seg_auto_crossover` segments so small payloads never
+    #: pay the per-datagram receive tax once per MTU.
+    segment_bytes: "int | str" = 1460
+    #: logical segments packed per ``mcast-seg`` datagram.  An int forces
+    #: that batch factor; ``"auto"`` adapts it to the payload (whole
+    #: payload in one datagram below the crossover) but only when
+    #: ``segment_bytes`` is also ``"auto"``, so the explicit-size presets
+    #: keep PR 1's one-frame-per-datagram wire behaviour.
+    seg_batch: "int | str" = "auto"
+    #: segment count below which the auto policy stops paying per-segment
+    #: datagram taxes and ships the round as one batched datagram — the
+    #: empirical ``mcast-seg-nack`` / ``mcast-ack`` latency crossover
+    #: (about ten single-frame segments on the paper's platform).
+    seg_auto_crossover: int = 10
     #: how long a receiver waits for the *next* expected segment before
     #: declaring the round over and NACKing what is still missing.  Must
     #: comfortably exceed the inter-segment arrival gap (wire
     #: serialization + per-segment receive software, ~200 µs at Fast
     #: Ethernet sizes) times the longest plausible run of lost segments.
     seg_drain_timeout_us: float = 2500.0
+    #: root-side inter-datagram pacing of the segment stream (paper §5:
+    #: a sender overrunning a receiver's descriptor budget).  ``0`` sends
+    #: back-to-back; a float inserts that many µs between data datagrams;
+    #: ``"auto"`` derives the gap from the receiver software drain
+    #: estimate (:meth:`seg_drain_estimate_us`).
+    seg_pace_gap_us: "float | str" = 0.0
+    #: when True, a root that learns from the NACK reports that some
+    #: receiver runs a finite descriptor budget switches its *repair*
+    #: rounds to auto-gap pacing with bursts capped at the smallest
+    #: reported budget — slow receivers shrink the burst.
+    seg_pace_feedback: bool = True
+    #: receive-descriptor ring size receivers may hold on the multicast
+    #: data socket (``None`` = unbounded, the pre-post-everything model).
+    #: A finite budget turns a long unpaced burst into paper-§5 overrun:
+    #: datagrams beyond the ring are dropped and must be NACK-repaired.
+    seg_recv_budget: "int | None" = None
 
     label: str = field(default="custom", compare=False)
 
@@ -113,6 +145,16 @@ class NetParams:
         rest = user_bytes - self.max_udp_payload
         full, part = divmod(rest, self.max_fragment_payload)
         return 1 + full + (1 if part else 0)
+
+    def seg_drain_estimate_us(self, datagram_bytes: int) -> float:
+        """Receiver software time to consume one data datagram: the
+        recvfrom syscall + copy, the multicast validation/delivery extra,
+        and the per-frame NIC/IP input cost of each fragment.  This is
+        the budget the root's auto pacing gap must cover so a receiver
+        re-posting descriptors one at a time is never overrun.
+        """
+        return (self.udp_recv_us + self.mcast_recv_extra_us
+                + self.per_frame_rx_us * self.frames_for(datagram_bytes))
 
 
 #: The paper's shared-hub platform.

@@ -66,6 +66,12 @@ class UdpSocket:
         self._posted: deque[Event] = deque()
         self._closed = False
         self.rx_dropped = 0
+        #: most receive descriptors simultaneously posted over the
+        #: socket's lifetime — the descriptor-ring size a real VIA-style
+        #: NIC would need.  The segmented collectives' pacing work reads
+        #: this to check that a budget-limited receiver really never
+        #: held more than its ring.
+        self.posted_high_water = 0
         #: optional fault-injection hook: ``drop_filter(dgram) -> bool``;
         #: a True return drops the datagram before delivery (counted as
         #: ``drops_induced``).  Benchmarks and tests use this to model
@@ -149,6 +155,8 @@ class UdpSocket:
             ev.succeed(dgram)
         else:
             self._posted.append(ev)
+            self.posted_high_water = max(self.posted_high_water,
+                                         len(self._posted))
         return ev
 
     def post_recv_many(self, n: int) -> list[Event]:
@@ -225,3 +233,8 @@ class UdpSocket:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    @property
+    def posted_depth(self) -> int:
+        """Receive descriptors currently posted and unfilled."""
+        return len(self._posted)

@@ -118,7 +118,8 @@ def test_registry_register_and_lookup():
     assert get_impl("bcast", "test-noop") is _noop
     with pytest.raises(KeyError, match="no implementation"):
         get_impl("bcast", "not-there")
-    with pytest.raises(KeyError):
+    # an unknown *op* lists the valid op names, not an empty impl list
+    with pytest.raises(KeyError, match=r"known ops: .*'bcast'"):
         get_impl("frobnicate", "x")
     del REGISTRY["bcast"]["test-noop"]
 

@@ -1,19 +1,34 @@
-"""Segmented pipelined multicast: fragmentation, reassembly, and the
+"""Segmented pipelined multicast: fragmentation, reassembly, the
+adaptive transport plan (auto sizing + batching), and the
 ``mcast-seg-nack`` / ``mcast-seg-paced`` collectives (incl. NACK repair
-under induced loss and the documented frame-count formula)."""
+under induced loss, root rate pacing against descriptor budgets, and
+the documented frame/datagram-count formulas)."""
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
 from repro import run_spmd
-from repro.core.mcast_bcast import McastLost
-from repro.core.segment import (Reassembler, Segment, fragment,
-                                plan_segments, reassemble,
+from repro.core.segment import (Reassembler, Segment, TransportPlan,
+                                chunk_plan, fragment,
+                                frame_segment_bytes, plan_segments,
+                                plan_transport, reassemble,
+                                seg_nack_datagram_count,
                                 seg_nack_frame_count)
 from repro.simnet import quiet
 from repro.simnet.calibration import FAST_ETHERNET_SWITCH
 
 QUIET = quiet(FAST_ETHERNET_SWITCH)
+AUTO = replace(QUIET, segment_bytes="auto")
+
+
+def collective_datagrams(result) -> int:
+    """Datagrams the collective itself sent: everything except the
+    runtime's p2p wireup traffic (whose small datagrams are 1 frame
+    each, so the kind counter equals the datagram count)."""
+    return (result.stats["datagrams_sent"]
+            - result.stats["frames_by_kind"].get("p2p", 0))
 
 
 # ------------------------------------------------------------- planning
@@ -35,6 +50,64 @@ def test_plan_segments_rejects_bad_args():
         plan_segments(-1, 100)
     with pytest.raises(ValueError):
         plan_segments(100, 0)
+
+
+# ------------------------------------------- adaptive transport plan
+def test_frame_segment_bytes_fills_one_mtu():
+    # 1460 user bytes + 12 envelope bytes = the 1472-byte UDP payload of
+    # one default-MTU frame
+    assert frame_segment_bytes(QUIET) == 1460
+
+
+def test_plan_transport_explicit_size_keeps_single_segment_datagrams():
+    tp = plan_transport(48_000, QUIET)
+    assert tp == TransportPlan(segment_bytes=1460, batch=1, nsegs=33)
+    assert tp.ndatagrams == 33
+
+
+@pytest.mark.parametrize("nbytes,batch,nsegs", [
+    (0, 1, 1),             # empty payload: one empty segment, one datagram
+    (100, 1, 1),
+    (1460, 1, 1),
+    (5000, 4, 4),          # below crossover: whole round in one datagram
+    (12_000, 9, 9),
+    (14_600, 10, 10),      # exactly at the crossover: still one datagram
+    (14_601, 1, 11),       # above: full selective-repair granularity
+    (48_000, 1, 33),
+])
+def test_plan_transport_auto_crossover(nbytes, batch, nsegs):
+    tp = plan_transport(nbytes, AUTO)
+    assert (tp.segment_bytes, tp.batch, tp.nsegs) == (1460, batch, nsegs)
+    if batch > 1:
+        assert tp.ndatagrams == 1
+
+
+def test_plan_transport_explicit_batch_overrides_policy():
+    forced = replace(QUIET, seg_batch=4)
+    tp = plan_transport(12_000, forced)
+    assert (tp.batch, tp.nsegs, tp.ndatagrams) == (4, 9, 3)
+    # batch is clamped to the segment count
+    assert plan_transport(1000, forced).batch == 1
+    with pytest.raises(ValueError):
+        plan_transport(1000, replace(QUIET, seg_batch=0))
+
+
+def test_chunk_plan_groups_consecutive_indices():
+    assert chunk_plan([0, 1, 2, 3, 4], 2) == [[0, 1], [2, 3], [4]]
+    assert chunk_plan([3, 7, 11], 8) == [[3, 7, 11]]   # repair re-batching
+    assert chunk_plan([], 3) == []
+    with pytest.raises(ValueError):
+        chunk_plan([0], 0)
+
+
+def test_seg_nack_datagram_count_formula():
+    # batch 1 degenerates to the frame formula
+    assert (seg_nack_datagram_count(4, 33)
+            == seg_nack_frame_count(4, 33))
+    # batching shrinks only the data terms
+    assert (seg_nack_datagram_count(4, 33, batch=8, repairs=[5])
+            == 1 + 3 * 7 + 5 + 1)
+    assert seg_nack_datagram_count(1, 10, batch=2) == 0
 
 
 # ------------------------------------------------- fragment / reassemble
@@ -282,18 +355,273 @@ def test_seg_paced_allgather_matches_paced():
     assert all(result.returns)
 
 
-def test_seg_paced_allgather_loss_raises_mcastlost():
-    """Without NACK repair, an induced loss surfaces as McastLost, never
-    a hang."""
+def test_seg_paced_allgather_repairs_induced_loss():
+    """A lost segment no longer raises McastLost: the turn's sender runs
+    the same NACK repair rounds as the broadcast and re-multicasts only
+    the missing segment."""
     def main(env):
         env.comm.use_collectives(allgather="mcast-seg-paced")
         if env.rank == 2:
             env.comm.mcast.data_sock.drop_filter = drop_first_copy_of({1})
         out = yield from env.comm.allgather(bytes(5000))
-        return len(out)
+        return [len(x) for x in out]
 
-    with pytest.raises(McastLost):
-        run_spmd(4, main, params=QUIET)
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [[5000] * 4] * 4
+    # rank 2 missed segment 1 of turn 0's stream; exactly that one
+    # segment was re-multicast (5000 B = 4 segments per turn)
+    assert result.stats["retransmissions"] == 1
+    assert result.stats["frames_by_kind"]["mcast-seg"] == 4 * 4 + 1
+
+
+def test_seg_paced_allgather_repairs_loss_in_every_turn():
+    """Each turn's sender repairs its own stream: a receiver dropping
+    segment 2 of *every* sender forces one single-segment repair round
+    per turn it listens to."""
+    def drop_seg2_once_per_sender():
+        dropped = set()
+
+        def flt(dgram):
+            if dgram.kind != "mcast-seg":
+                return False
+            root, _seq, seg = dgram.payload
+            if seg.index == 2 and root not in dropped:
+                dropped.add(root)
+                return True
+            return False
+
+        return flt
+
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = \
+                drop_seg2_once_per_sender()
+        mine = bytes([env.rank]) * 6000
+        out = yield from env.comm.allgather(mine)
+        return [x == bytes([r]) * 6000 for r, x in enumerate(out)]
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [[True] * 4] * 4
+    # rank 1 listens to turns 0, 2, 3 -> three single-segment repairs
+    assert result.stats["retransmissions"] == 3
+
+
+def test_seg_paced_allgather_auto_batches_small_contributions():
+    """Auto transport: each 5000-B contribution (4 segments) rides one
+    batched datagram per turn, and the result still matches."""
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        out = yield from env.comm.allgather(bytes([env.rank]) * 5000)
+        return [x == bytes([r]) * 5000 for r, x in enumerate(out)]
+
+    result = run_spmd(4, main, params=AUTO)
+    assert result.returns == [[True] * 4] * 4
+    # 4 turns x 4 single-frame segments, batched: frame count unchanged
+    assert result.stats["frames_by_kind"]["mcast-seg"] == 16
+    # ...but each turn's stream was ONE datagram (the batching win);
+    # subtract the per-turn header + control datagrams via the formula
+    per_turn = seg_nack_datagram_count(4, 4, batch=4)
+    ready = 2 * 3                      # ag-ready gather + ag-go release
+    assert collective_datagrams(result) == ready + 4 * per_turn
+
+
+# ------------------------------------------------------ batched frames
+def test_seg_nack_batched_bcast_matches_formulas():
+    """An explicit batch factor leaves the Ethernet-frame formula intact
+    while cutting datagrams (the per-receive software tax) to
+    ceil(S/B) — both closed forms hold on the wire."""
+    forced = replace(QUIET, seg_batch=8)
+    payload = bytes(48_000)                    # 33 segments, 5 datagrams
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(4, main, params=forced)
+    assert result.returns == [True] * 4
+    kinds = result.stats["frames_by_kind"]
+    assert kinds["mcast-seg"] == 33            # one frame per segment still
+    assert collective_datagrams(result) == seg_nack_datagram_count(
+        4, 33, batch=8)
+
+
+def test_seg_nack_batched_bcast_repairs_whole_batch_loss():
+    """Losing one batched datagram loses its whole segment run; the
+    repair round re-batches exactly those segments into one datagram."""
+    forced = replace(QUIET, seg_batch=8)
+    payload = bytes(48_000)
+    dropped = []
+
+    def flt(dgram):
+        # drop the first copy of the second batch (segments 8..15)
+        if dgram.kind != "mcast-seg" or dropped:
+            return False
+        batch = dgram.payload[2]
+        if isinstance(batch, tuple) and batch[0].index == 8:
+            dropped.append([s.index for s in batch])
+            return True
+        return False
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = flt
+        obj = payload if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == payload
+
+    result = run_spmd(3, main, params=forced)
+    assert result.returns == [True] * 3
+    assert dropped == [list(range(8, 16))]
+    # the 8 lost segments came back as ONE re-batched repair datagram
+    assert result.stats["retransmissions"] == 1
+    assert collective_datagrams(result) == seg_nack_datagram_count(
+        3, 33, batch=8, repairs=[8])
+
+
+def test_seg_nack_auto_bcast_correct_across_the_crossover():
+    """Auto transport stays correct on both sides of the crossover and
+    for opaque (non-bytes) payloads."""
+    payloads = [bytes(0), bytes(1000), bytes(12_000), bytes(48_000),
+                {"opaque": list(range(2000))}]
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        got = []
+        for p in payloads:
+            out = yield from env.comm.bcast(p if env.rank == 0 else None, 0)
+            got.append(out == p)
+        return got
+
+    result = run_spmd(4, main, params=AUTO)
+    assert result.returns == [[True] * len(payloads)] * 4
+
+
+# ------------------------------------------------- crossover vs mcast-ack
+def _lossy_bcast_frames(impl, nbytes, params, nprocs=4):
+    """One broadcast under the bench's loss model (odd ranks drop the
+    first copy of every data datagram); returns payload-frame count."""
+    data_kind = "mcast-seg" if impl == "mcast-seg-nack" else "mcast-data"
+
+    def drop_first_copy():
+        seen = set()
+
+        def flt(dgram):
+            if dgram.kind != data_kind:
+                return False
+            seq = dgram.payload[1]
+            if seq in seen:
+                return False
+            seen.add(seq)
+            return True
+
+        return flt
+
+    def main(env):
+        env.comm.use_collectives(bcast=impl)
+        if env.rank % 2 == 1:
+            env.comm.mcast.data_sock.drop_filter = drop_first_copy()
+        obj = bytes(nbytes) if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == bytes(nbytes)
+
+    result = run_spmd(nprocs, main, params=params)
+    assert all(result.returns)
+    return result.stats["frames_by_kind"].get(data_kind, 0)
+
+
+@pytest.mark.parametrize("nbytes", [0, 100, 1460, 5000, 10_000, 14_000])
+def test_auto_seg_nack_never_beaten_by_ack_below_crossover(nbytes):
+    """The PR 1 crossover is gone: below ~10 MTUs the auto plan ships
+    the payload as one datagram, so ``mcast-seg-nack`` never puts more
+    payload-carrying frames on the wire than ``mcast-ack`` under the
+    same induced loss.  (Control frames are excluded: scouts, reports
+    and decisions are 4-byte frames against 1500-byte data frames.)"""
+    seg = _lossy_bcast_frames("mcast-seg-nack", nbytes, AUTO)
+    ack = _lossy_bcast_frames("mcast-ack", nbytes, QUIET)
+    assert seg <= ack
+
+
+def test_auto_seg_nack_beats_ack_above_crossover():
+    """Above the crossover, selective repair wins outright — and by a
+    wide margin, because mcast-ack re-multicasts the whole payload."""
+    seg = _lossy_bcast_frames("mcast-seg-nack", 48_000, AUTO)
+    ack = _lossy_bcast_frames("mcast-ack", 48_000, QUIET)
+    assert seg < ack / 2
+
+
+# --------------------------------------------- rate pacing (paper §5)
+SLOW_RECV = replace(QUIET, mcast_recv_extra_us=400.0)
+
+
+def _budget_bcast(params, budget, nbytes=48_000, nprocs=3):
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank != 0 and budget is not None:
+            env.comm.mcast.recv_budget = budget
+        obj = bytes(nbytes) if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return (out == bytes(nbytes),
+                env.comm.mcast.data_sock.posted_high_water)
+
+    return run_spmd(nprocs, main, params=params)
+
+
+def test_unpaced_burst_overruns_finite_descriptor_budget():
+    """A receiver with a 2-descriptor ring cannot absorb a back-to-back
+    33-segment burst from a fast root: the overflow datagrams drop
+    (paper §5 overrun) and must be NACK-repaired — correct result, but
+    real retransmission cost."""
+    result = _budget_bcast(SLOW_RECV, budget=2)
+    assert all(ok for ok, _hw in result.returns)
+    assert result.stats["drops_not_posted"] > 0
+    assert result.stats["retransmissions"] > 0
+    # the ring was honoured: receivers never held more than 2 descriptors
+    assert all(hw <= 2 for ok, hw in result.returns[1:])
+
+
+def test_auto_pacing_gap_prevents_overrun_entirely():
+    """With the auto inter-datagram gap (derived from the receiver drain
+    estimate) and the budget declared in NetParams, even a 2-descriptor
+    ring absorbs the whole stream: zero drops, zero repairs."""
+    paced = replace(SLOW_RECV, seg_pace_gap_us="auto", seg_recv_budget=2)
+    result = _budget_bcast(paced, budget=None)
+    assert all(ok for ok, _hw in result.returns)
+    assert result.stats["drops_not_posted"] == 0
+    assert result.stats["retransmissions"] == 0
+    assert all(hw <= 2 for ok, hw in result.returns[1:])
+
+
+def test_pacing_feedback_shrinks_the_burst_after_round_one():
+    """The root does not know the receivers' rings up front; the NACK
+    reports carry them, and with feedback the repair rounds run paced —
+    far fewer retransmissions than with feedback disabled."""
+    with_fb = _budget_bcast(SLOW_RECV, budget=2)
+    no_fb = _budget_bcast(replace(SLOW_RECV, seg_pace_feedback=False),
+                          budget=2)
+    assert all(ok for ok, _hw in with_fb.returns)
+    assert all(ok for ok, _hw in no_fb.returns)
+    assert (with_fb.stats["retransmissions"]
+            < no_fb.stats["retransmissions"])
+
+
+def test_seg_paced_allgather_survives_budget_overrun():
+    """The many-to-many case the paper's §5 worried about: every rank
+    runs a finite ring, senders burst, overruns are repaired per turn —
+    the allgather completes instead of raising McastLost."""
+    def main(env):
+        env.comm.use_collectives(allgather="mcast-seg-paced")
+        env.comm.mcast.recv_budget = 2
+        out = yield from env.comm.allgather(bytes([env.rank]) * 20_000)
+        return [x == bytes([r]) * 20_000 for r, x in enumerate(out)]
+
+    result = run_spmd(3, main, params=SLOW_RECV)
+    assert result.returns == [[True] * 3] * 3
+    assert result.stats["drops_not_posted"] > 0
+    assert result.stats["retransmissions"] > 0
 
 
 def test_seg_nack_gives_up_cleanly_on_unrepairable_loss():

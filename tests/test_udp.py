@@ -323,3 +323,28 @@ def test_post_recv_many_and_cancel_recv_all():
     # nothing was posted any more: the datagram is a counted drop
     assert not posted[1].triggered
     assert cl.stats.drops_not_posted == 1
+
+
+def test_posted_depth_and_high_water_track_the_descriptor_ring():
+    """posted_depth reports live descriptors; posted_high_water records
+    the largest ring ever held — what a budget-limited receiver's
+    sliding window in the segmented collectives must stay under."""
+    cl, sim, h0, h1 = make2(topology="switch")
+    rx = h1.socket(100, posted_only=True)
+    tx = h0.socket(101)
+    assert rx.posted_depth == 0 and rx.posted_high_water == 0
+
+    posted = rx.post_recv_many(3)
+    assert rx.posted_depth == 3 and rx.posted_high_water == 3
+
+    def sender():
+        yield from tx.sendto("fill", 32, dst=1, dst_port=100)
+
+    sim.process(sender())
+    sim.run()
+    assert rx.posted_depth == 2             # one descriptor consumed
+    assert rx.posted_high_water == 3        # high water is sticky
+
+    rx.cancel_recv_all(posted)
+    assert rx.posted_depth == 0
+    assert rx.posted_high_water == 3
