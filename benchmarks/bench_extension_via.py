@@ -23,7 +23,7 @@ native).  Expected — and asserted — outcome:
 
 import pathlib
 
-from _common import REPS, SEED, by_label
+from _common import REPS, SEED
 
 from repro.bench import crossover, markdown_table, measure_bcast, table
 from repro.bench.figures import PAPER_SIZES

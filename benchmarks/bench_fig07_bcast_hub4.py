@@ -6,7 +6,7 @@ Claims under test:
 * MPICH's cost grows ~(N-1) payload copies; multicast's grows ~1 copy.
 """
 
-from _common import REPS, by_label, run_and_archive
+from _common import by_label, run_and_archive
 
 from repro.bench import crossover
 

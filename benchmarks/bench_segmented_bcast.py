@@ -236,6 +236,16 @@ def _sweep():
         "mcast-ack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
         seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
         setup=_lossy_setup(_datagram_unit), label="ack (PVM-style) lossy"))
+    # PR 3: the payload-aware policy layer against the fixed entries it
+    # chooses between (loss-free, like the selection's frame model).
+    series.append(measure_bcast(
+        "p2p-binomial", "switch", NPROCS, SIZES, reps=BENCH_REPS,
+        seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
+        label="p2p-binomial lossless"))
+    series.append(measure_bcast(
+        "auto", "switch", NPROCS, SIZES, reps=BENCH_REPS,
+        seed=SEED, params=AUTO, window_us=WINDOW_US,
+        label="auto (policy) lossless"))
     return series
 
 
@@ -260,6 +270,19 @@ def test_segmented_bcast(benchmark):
     auto_clean = by_label(series, "seg-nack auto lossless")
     fixed_clean = by_label(series, "seg-nack lossless")
     ack = by_label(series, "ack (PVM-style) lossy")
+    p2p_clean = by_label(series, "p2p-binomial lossless")
+    policy = by_label(series, "auto (policy) lossless")
+
+    # The payload-aware "auto" tracks the impl it chose per size: the
+    # p2p tree below the frame-count crossover (modulo the log2(N)-deep
+    # scout announcement), the segmented multicast above it.
+    from repro.mpi.collective.policy import auto_impl
+    for size in policy.sizes:
+        chosen = auto_impl("bcast", size, NPROCS, AUTO)
+        ref = (p2p_clean if chosen == "p2p-binomial" else auto_clean)
+        assert policy.median(size) <= ref.median(size) * 1.35 + 400, (
+            f"auto bcast median {policy.median(size):.0f} us at {size} B "
+            f"vs chosen {chosen}'s {ref.median(size):.0f} us")
 
     # Selective NACK repair beats whole-payload retransmission at the
     # many-segment end — for the fixed per-segment plan AND the auto one.

@@ -14,7 +14,7 @@ envelope), so this module offers both:
 
 from __future__ import annotations
 
-from ..core.channel import MCAST_HEADER_BYTES, SCOUT_BYTES
+from ..core.channel import MCAST_HEADER_BYTES
 from ..mpi.collective.barrier_p2p import largest_power_of_two_leq
 from ..simnet.calibration import NetParams
 
@@ -23,6 +23,8 @@ __all__ = [
     "paper_mcast_bcast_frames", "paper_mpich_barrier_messages",
     "paper_mcast_barrier_messages", "model_mpich_bcast_frames",
     "model_mcast_bcast_frames", "mcast_bcast_total_frames",
+    "model_p2p_tree_frames", "model_seg_reduce_frames",
+    "model_seg_allreduce_frames", "model_seg_scatter_frames",
 ]
 
 
@@ -93,3 +95,47 @@ def model_mcast_bcast_frames(params: NetParams, n: int,
 def mcast_bcast_total_frames(params: NetParams, n: int, m: int) -> int:
     scouts, data = model_mcast_bcast_frames(params, n, m)
     return scouts + data
+
+
+# ---------------------------------------------------------------------------
+# reduction-side collectives (PR 3: segmented reduce/scatter/allreduce)
+# ---------------------------------------------------------------------------
+def model_p2p_tree_frames(params: NetParams, n: int, m: int) -> int:
+    """Exact frames of a binomial tree moving the whole payload across
+    every edge once — the p2p reduce (and gather) payload cost."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return params.frames_for(m + params.mpi_header) * (n - 1)
+
+
+def model_seg_reduce_frames(n: int, nsegs: int) -> int:
+    """Loss-free frames of ``mcast-seg-combine``: one engine stream per
+    non-root contributor, each exactly the broadcast round structure
+    (:func:`~repro.core.segment.seg_nack_frame_count`)."""
+    from ..core.segment import seg_nack_frame_count
+
+    if n < 2:
+        return 0
+    return (n - 1) * seg_nack_frame_count(n, nsegs)
+
+
+def model_seg_allreduce_frames(n: int, nsegs: int) -> int:
+    """Loss-free frames of the segmented allreduce: the mcast reduce
+    plus one segmented broadcast of the result."""
+    from ..core.segment import seg_nack_frame_count
+
+    if n < 2:
+        return 0
+    return model_seg_reduce_frames(n, nsegs) + seg_nack_frame_count(
+        n, nsegs)
+
+
+def model_seg_scatter_frames(n: int, seg_counts) -> int:
+    """Loss-free frames of ``mcast-seg-root``: one engine stream over
+    the concatenation of every non-root rank's fragments
+    (``seg_counts`` lists the per-rank segment counts, root's 0)."""
+    from ..core.segment import seg_nack_frame_count
+
+    if n < 2:
+        return 0
+    return seg_nack_frame_count(n, sum(seg_counts))

@@ -2,13 +2,14 @@
 
 from .figures import (FIGURES, MCAST_BINARY, MCAST_LINEAR, MPICH,
                       PAPER_SIZES, run_figure)
-from .harness import Sample, Series, measure_barrier, measure_bcast
+from .harness import (Sample, Series, measure_allreduce, measure_barrier,
+                      measure_bcast, measure_reduce)
 from .report import (ascii_plot, crossover, markdown_table, series_summary,
                      table)
 
 __all__ = [
     "FIGURES", "MCAST_BINARY", "MCAST_LINEAR", "MPICH", "PAPER_SIZES",
     "Sample", "Series", "ascii_plot", "crossover", "markdown_table",
-    "measure_barrier", "measure_bcast", "run_figure", "series_summary",
-    "table",
+    "measure_allreduce", "measure_barrier", "measure_bcast",
+    "measure_reduce", "run_figure", "series_summary", "table",
 ]

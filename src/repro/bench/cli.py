@@ -3,6 +3,11 @@
 Regenerates any of the paper's figures as a latency table plus an ASCII
 plot, or dumps the frame-count table.  ``--all`` iterates everything
 (this is how EXPERIMENTS.md's measured columns were produced).
+
+Beyond the paper's figures the registry carries this repo's extension
+sweeps — ``ablation`` (reliability schemes) and ``segcoll`` (the PR 3
+segmented reduce/allreduce vs their p2p defaults vs the payload-aware
+``"auto"`` policy).
 """
 
 from __future__ import annotations

@@ -12,18 +12,20 @@ Registry: :data:`FIGURES` maps figure ids ("fig7" ... "fig13",
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import replace
+from typing import Callable
 
 from ..analysis.framecount import (model_mcast_bcast_frames,
                                    model_mpich_bcast_frames,
                                    paper_mcast_bcast_frames,
                                    paper_mpich_barrier_messages,
                                    paper_mpich_bcast_frames)
-from ..simnet.calibration import (FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH)
-from .harness import Series, measure_barrier, measure_bcast
+from ..simnet.calibration import FAST_ETHERNET_SWITCH
+from .harness import (Series, measure_allreduce, measure_barrier,
+                      measure_bcast, measure_reduce)
 
-__all__ = ["FIGURES", "PAPER_SIZES", "run_figure", "MPICH", "MCAST_BINARY",
-           "MCAST_LINEAR"]
+__all__ = ["FIGURES", "PAPER_SIZES", "SEGCOLL_PARAMS", "run_figure",
+           "MPICH", "MCAST_BINARY", "MCAST_LINEAR"]
 
 #: the paper sweeps message sizes 0..5000 bytes
 PAPER_SIZES = [0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000]
@@ -184,6 +186,51 @@ def ablation_reliability(reps: int = 15, seed: int = 0, sizes=None):
     return series, notes
 
 
+#: measurement window for the reduction sweeps — the turn-based
+#: segmented reduce at the largest size outlasts the default window
+SEGCOLL_WINDOW_US = 80_000.0
+
+#: the platform the segcoll sweep measures on — adaptive transport plan
+#: on the paper's switch.  Exported so bench_segmented_reduce.py
+#: predicts the "auto" series' choices with the SAME parameters the
+#: series resolved with.
+SEGCOLL_PARAMS = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
+
+
+def seg_collectives(reps: int = 15, seed: int = 0, sizes=None):
+    """Segmented reduce/allreduce vs their p2p defaults vs "auto".
+
+    The new-in-PR-3 sweep: ``mcast-seg-combine`` (reduce) and the
+    composed segmented allreduce against the MPICH trees, with the
+    payload-aware ``"auto"`` policy as a third series per op.  Sizes are
+    multiples of 8 (float64 payloads).
+    """
+    sizes = sizes or [1000, 12_000, 48_000]
+    sizes = [(-(-s // 8)) * 8 for s in sizes]
+    series = []
+    for impl, tag in (("p2p-binomial", "p2p"),
+                      ("mcast-seg-combine", "seg"),
+                      ("auto", "auto")):
+        series.append(measure_reduce(
+            impl, "switch", 4, sizes, reps=reps, seed=seed,
+            params=SEGCOLL_PARAMS, window_us=SEGCOLL_WINDOW_US,
+            label=f"reduce {tag}"))
+    for impl, tag in (("p2p-reduce-bcast", "p2p"),
+                      ("mcast-seg-nack", "seg"),
+                      ("auto", "auto")):
+        series.append(measure_allreduce(
+            impl, "switch", 4, sizes, reps=reps, seed=seed + 1,
+            params=SEGCOLL_PARAMS, window_us=SEGCOLL_WINDOW_US,
+            label=f"allreduce {tag}"))
+    notes = ("segmented reduce matches the p2p tree's payload frames "
+             "and adds selective NACK repair; the segmented allreduce "
+             "multicasts the broadcast half (N payload streams vs "
+             "MPICH's 2(N-1)); 'auto' resolves per call from the "
+             "closed-form frame estimates and should track the better "
+             "fixed series at every size")
+    return series, notes
+
+
 FIGURES: dict[str, Callable] = {
     "fig7": fig7,
     "fig8": fig8,
@@ -194,6 +241,7 @@ FIGURES: dict[str, Callable] = {
     "fig13": fig13,
     "framecounts": framecounts,
     "ablation": ablation_reliability,
+    "segcoll": seg_collectives,
 }
 
 

@@ -21,11 +21,14 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from ..runtime import run_spmd
 from ..runtime.skew import compute_phase
 from ..simnet.calibration import NetParams
 
-__all__ = ["Sample", "Series", "measure_bcast", "measure_barrier"]
+__all__ = ["Sample", "Series", "measure_bcast", "measure_barrier",
+           "measure_reduce", "measure_allreduce"]
 
 #: mean µs of the pseudo-compute phase between iterations
 DEFAULT_THINK_US = 60.0
@@ -140,6 +143,46 @@ def _bcast_workload(sizes, reps, think_us, setup=None,
     return main
 
 
+def _reduce_workload(op, sizes, reps, think_us, setup=None,
+                     window_us=WINDOW_US):
+    """SPMD body for reduce/allreduce sweeps (same windowing as bcast).
+
+    Payloads are float64 NumPy arrays (``size`` bytes each, so ``size``
+    must be a multiple of 8): the buffer path sizes them exactly and
+    elementwise SUM keeps the payload size constant across the tree,
+    unlike ``bytes`` whose ``+`` would concatenate.
+    """
+    from ..mpi.ops import SUM
+
+    def main(env):
+        comm = env.comm
+        if setup is not None:
+            setup(env)
+        base = yield from _agree_base(env)
+        k = 0
+        for size in sizes:
+            arr = np.full(max(1, size // 8), float(env.rank + 1),
+                          dtype=np.float64)
+            for it in range(reps):
+                delay = _window_sync(env, base, k, window_us)
+                k += 1
+                if delay > 0:
+                    yield env.sim.timeout(delay)
+                yield from compute_phase(env, think_us)
+                t0 = env.now
+                if op == "reduce":
+                    out = yield from comm.reduce(arr, SUM, 0)
+                    ok = comm.rank != 0 or out is not None
+                else:
+                    out = yield from comm.allreduce(arr, SUM)
+                    ok = out is not None
+                env.log("durations", (size, it, env.now - t0))
+                if not ok:  # pragma: no cover - correctness net
+                    raise AssertionError(f"{op} lost its result")
+
+    return main
+
+
 def _barrier_workload(reps, think_us):
     def main(env):
         base = yield from _agree_base(env)
@@ -190,6 +233,41 @@ def measure_bcast(impl: str, topology: str, nprocs: int,
                       collectives={"bcast": impl})
     return _collect(result, label or f"{impl}/{topology}/{nprocs}p",
                     impl, topology, nprocs)
+
+
+def _measure_reduction(op, impl, topology, nprocs, sizes, reps, seed,
+                       params, think_us, label, setup, window_us):
+    result = run_spmd(nprocs,
+                      _reduce_workload(op, sizes, reps, think_us,
+                                       setup=setup, window_us=window_us),
+                      topology=topology, params=params, seed=seed,
+                      collectives={op: impl})
+    return _collect(result, label or f"{op}:{impl}/{topology}/{nprocs}p",
+                    impl, topology, nprocs)
+
+
+def measure_reduce(impl: str, topology: str, nprocs: int,
+                   sizes: list[int], reps: int = 25, seed: int = 0,
+                   params: Optional[NetParams] = None,
+                   think_us: float = DEFAULT_THINK_US,
+                   label: Optional[str] = None, setup=None,
+                   window_us: float = WINDOW_US) -> Series:
+    """Latency sweep of one reduce implementation (incl. ``"auto"``)."""
+    return _measure_reduction("reduce", impl, topology, nprocs, sizes,
+                              reps, seed, params, think_us, label, setup,
+                              window_us)
+
+
+def measure_allreduce(impl: str, topology: str, nprocs: int,
+                      sizes: list[int], reps: int = 25, seed: int = 0,
+                      params: Optional[NetParams] = None,
+                      think_us: float = DEFAULT_THINK_US,
+                      label: Optional[str] = None, setup=None,
+                      window_us: float = WINDOW_US) -> Series:
+    """Latency sweep of one allreduce implementation (incl. ``"auto"``)."""
+    return _measure_reduction("allreduce", impl, topology, nprocs, sizes,
+                              reps, seed, params, think_us, label, setup,
+                              window_us)
 
 
 def measure_barrier(impl: str, topology: str, nprocs: int,

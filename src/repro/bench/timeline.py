@@ -20,7 +20,6 @@ from typing import Callable, Optional
 from ..runtime import run_spmd
 from ..simnet.calibration import NetParams
 from ..simnet.stats import NetStats
-from ..simnet.trace import TraceEvent
 
 __all__ = ["WireEvent", "record_timeline", "ascii_timeline",
            "kinds_in_order"]

@@ -3,9 +3,20 @@
 Importing this package registers the multicast implementations
 (``mcast-binary``, ``mcast-linear``, ``mcast-naive``, ``mcast-ack``,
 ``mcast-seg-nack`` for bcast; ``mcast`` for barrier; ``mcast-paced`` and
-``mcast-seg-paced`` for allgather; ``mcast-sequencer`` extension) in the
-collective registry, so any communicator can switch to them with
-``comm.use_collectives(bcast="mcast-seg-nack", barrier="mcast")``.
+``mcast-seg-paced`` for allgather; ``mcast-seg-combine`` for reduce;
+``mcast-seg-nack`` for allreduce; ``mcast-seg-root`` for scatter;
+``mcast-sequencer`` extension) in the collective registry, so any
+communicator can switch to them with
+``comm.use_collectives(bcast="mcast-seg-nack", barrier="mcast")`` — or
+defer the choice per call to the payload-aware policy layer with
+``comm.use_collectives(bcast="auto")``.
+
+The segmented implementations all run on the reusable NACK-repair round
+engine of :mod:`repro.core.rounds` (serve/follow, rate pacing,
+descriptor-budget feedback, adaptive drain timeouts, repair
+re-batching); :mod:`repro.core.segment` owns payload planning
+(fragmentation, adaptive sizing/batching, the closed-form frame and
+datagram formulas).
 """
 
 from .channel import (DATA_PORT_BASE, GROUP_ID_BASE, MCAST_HEADER_BYTES,
@@ -15,27 +26,36 @@ from .mcast_allgather import (allgather_mcast_paced,
 from .mcast_barrier import barrier_mcast, barrier_mcast_message_count
 from .mcast_bcast import (McastLost, bcast_mcast_ack, bcast_mcast_binary,
                           bcast_mcast_linear, bcast_mcast_naive)
+from .mcast_reduce import allreduce_mcast_seg_nack, reduce_mcast_seg_combine
+from .mcast_scatter import scatter_mcast_seg_root
 from .ordering import (UnsafeScheduleError, check_safe_schedule,
                        run_bcast_sequence)
+from .rounds import (Reassembler, RoundPacer, Segment, chunk_plan,
+                     follow_rounds, frame_segment_bytes, reassemble,
+                     repair_batch, round_drain_timeout_us,
+                     round_namespace, serve_rounds)
 from .scout import (binary_tree_steps, scout_count, scout_gather_binary,
-                    scout_gather_linear)
-from .segment import (Reassembler, Segment, TransportPlan,
-                      allgather_mcast_seg_paced, bcast_mcast_seg_nack,
-                      chunk_plan, fragment, frame_segment_bytes,
-                      plan_segments, plan_transport, reassemble,
+                    scout_gather_linear, scout_scatter_binary)
+from .segment import (TransportPlan, allgather_mcast_seg_paced,
+                      auto_batch, bcast_mcast_seg_nack, fragment,
+                      plan_segments, plan_transport,
                       seg_nack_datagram_count, seg_nack_frame_count)
 from . import sequencer  # noqa: F401  (registers mcast-sequencer)
 
 __all__ = [
     "DATA_PORT_BASE", "GROUP_ID_BASE", "MCAST_HEADER_BYTES", "McastChannel",
-    "McastLost", "Reassembler", "SCOUT_BYTES", "SCOUT_PORT_BASE", "Segment",
-    "TransportPlan", "UnsafeScheduleError", "allgather_mcast_paced",
-    "allgather_mcast_seg_paced", "allgather_mcast_unpaced", "barrier_mcast",
-    "barrier_mcast_message_count", "bcast_mcast_ack", "bcast_mcast_binary",
-    "bcast_mcast_linear", "bcast_mcast_naive", "bcast_mcast_seg_nack",
-    "binary_tree_steps", "check_safe_schedule", "chunk_plan", "fragment",
-    "frame_segment_bytes", "plan_segments", "plan_transport", "reassemble",
-    "run_bcast_sequence", "scout_count", "scout_gather_binary",
-    "scout_gather_linear", "seg_nack_datagram_count",
-    "seg_nack_frame_count",
+    "McastLost", "Reassembler", "RoundPacer", "SCOUT_BYTES",
+    "SCOUT_PORT_BASE", "Segment", "TransportPlan", "UnsafeScheduleError",
+    "allgather_mcast_paced", "allgather_mcast_seg_paced",
+    "allgather_mcast_unpaced", "allreduce_mcast_seg_nack", "auto_batch",
+    "barrier_mcast", "barrier_mcast_message_count", "bcast_mcast_ack",
+    "bcast_mcast_binary", "bcast_mcast_linear", "bcast_mcast_naive",
+    "bcast_mcast_seg_nack", "binary_tree_steps", "check_safe_schedule",
+    "chunk_plan", "follow_rounds", "fragment", "frame_segment_bytes",
+    "plan_segments", "plan_transport", "reassemble",
+    "reduce_mcast_seg_combine", "repair_batch", "round_drain_timeout_us",
+    "round_namespace", "run_bcast_sequence", "scatter_mcast_seg_root",
+    "scout_count", "scout_gather_binary", "scout_gather_linear",
+    "scout_scatter_binary", "seg_nack_datagram_count",
+    "seg_nack_frame_count", "serve_rounds",
 ]

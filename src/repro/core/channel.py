@@ -149,7 +149,22 @@ class McastChannel:
             # else: stale entry from a completed collective — purge
         self._scout_stash = keep
 
-    # -- segment reports / decisions (NACK repair control plane) -----------
+    # -- tagged control messages (NACK repair + selection control plane) ----
+    def send_tagged(self, dst_rank: int, seq: int, tag: str, rnd,
+                    value, nbytes: int,
+                    kind: Optional[str] = None) -> Generator:
+        """Send one ``(tag, rnd, value)`` control message to ``dst_rank``.
+
+        The generic half of :meth:`wait_tagged`: rides the buffered
+        scout socket (immune to the posted-only discipline), matched by
+        ``(seq, tag, rnd)``.  The segment reports/decisions and the
+        "auto" implementation announcements are all instances.
+        """
+        yield from self.scout_sock.sendto(
+            (self.comm.rank, seq, (tag, rnd, value)), nbytes,
+            self.comm.addr_of(dst_rank), self.scout_port,
+            kind=kind or tag)
+
     def send_report(self, dst_rank: int, seq: int, rnd,
                     missing, nsegs: int) -> Generator:
         """Send a per-round segment report to ``dst_rank``.
@@ -159,15 +174,12 @@ class McastChannel:
         report also carries this rank's descriptor budget
         (:attr:`recv_budget`) — the feedback the sender's rate pacing
         adapts to.  Wire size: a scout plus an ``nsegs``-bit bitmap plus
-        a 4-byte budget field.  Rides the buffered scout socket, so
-        reports are never lost to the posted-only discipline.
+        a 4-byte budget field.
         """
         nbytes = SCOUT_BYTES + (nsegs + 7) // 8 + 4
         value = (tuple(sorted(missing)), self.recv_budget)
-        yield from self.scout_sock.sendto(
-            (self.comm.rank, seq, ("seg-report", rnd, value)),
-            nbytes, self.comm.addr_of(dst_rank), self.scout_port,
-            kind="seg-report")
+        yield from self.send_tagged(dst_rank, seq, "seg-report", rnd,
+                                    value, nbytes)
 
     def send_decision(self, dst_rank: int, seq: int, rnd,
                       segments, nsegs: int) -> Generator:
@@ -177,10 +189,8 @@ class McastChannel:
         re-multicast next round, or ``None`` for "done".
         """
         nbytes = SCOUT_BYTES + (nsegs + 7) // 8
-        yield from self.scout_sock.sendto(
-            (self.comm.rank, seq, ("seg-dec", rnd, segments)),
-            nbytes, self.comm.addr_of(dst_rank), self.scout_port,
-            kind="seg-dec")
+        yield from self.send_tagged(dst_rank, seq, "seg-dec", rnd,
+                                    segments, nbytes)
 
     def wait_tagged(self, src_ranks: set[int], seq: int, tag: str,
                     rnd) -> Generator:

@@ -1,0 +1,136 @@
+"""Reduction collectives over the segmented multicast round engine.
+
+The paper multicasts only the one-to-many side (bcast, barrier release);
+its reductions stayed on MPICH's p2p trees.  This module closes that gap
+with two collectives built on :mod:`repro.core.rounds`:
+
+* ``reduce`` **"mcast-seg-combine"** — a NACK-repaired *gather of turns*:
+  every non-root rank takes a turn streaming its contribution through
+  the engine (header, arm, paced segment stream, report, decision,
+  selective repair — exactly the ``mcast-seg-nack`` broadcast structure
+  with the contributor as root), the root follows each turn and folds
+  the arriving values through the :class:`~repro.mpi.ops.Op` **in rank
+  order** (``acc = op(acc, incoming)``), so non-commutative but
+  associative operators see operands exactly as MPI requires.  Ranks
+  that are neither the turn's sender nor the root follow the loop as
+  pure bystanders (``needed=set()``): they join every arming gather and
+  receive every decision, staying in lockstep without posting a single
+  descriptor — the data frames they do not need die at their posted-only
+  sockets.
+
+  Many-to-one traffic gains no *frame-count* advantage from multicast
+  (each contribution is needed at exactly one rank), so the payload
+  frames match the p2p binomial reduce; what the engine adds is the
+  PR 1/2 reliable transport — per-segment selective repair under loss,
+  descriptor-budget pacing, adaptive drain timeouts — none of which the
+  p2p tree has, plus the building block for:
+
+* ``allreduce`` **"mcast-seg-nack"** — the mcast reduce composed with
+  the segmented broadcast (reduce to rank 0, then
+  :func:`~repro.core.segment.bcast_mcast_seg_nack`).  Here multicast
+  *does* win frames outright: MPICH's reduce-then-broadcast puts
+  ``2(N-1)`` copies of the payload on the wire, this puts ``N`` — the
+  broadcast half is a single multicast stream.
+
+Both register in :mod:`repro.mpi.collective.registry`; switch with
+``comm.use_collectives(reduce="mcast-seg-combine",
+allreduce="mcast-seg-nack")`` or let the payload-aware ``"auto"`` policy
+(:mod:`repro.mpi.collective.policy`) pick per call.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Generator
+
+from ..mpi.collective.registry import register
+from ..mpi.datatypes import payload_bytes
+from ..mpi.ops import Op
+from .channel import SEG_HEADER_BYTES
+from .rounds import follow_rounds, round_namespace, serve_rounds
+from .scout import scout_gather_binary
+from .segment import bcast_mcast_seg_nack, fragment, plan_transport
+
+__all__ = ["reduce_mcast_seg_combine", "allreduce_mcast_seg_nack"]
+
+
+@register("reduce", "mcast-seg-combine")
+def reduce_mcast_seg_combine(comm, obj: Any, op: Op,
+                             root: int = 0) -> Generator:
+    """Segmented NACK-repaired reduce: gather turns folded through ``op``.
+
+    Returns the reduction at ``root``; ``None`` elsewhere.
+    """
+    channel = comm.mcast
+    params = comm.host.params
+    seq = channel.next_seq()
+    size = comm.size
+    if size == 1:
+        return copy.copy(obj)
+
+    if comm.rank != root:
+        # the root's contribution never touches the wire: only the
+        # ranks that will serve a turn pay the fragmentation copy
+        tplan = plan_transport(payload_bytes(obj), params)
+        mine = fragment(obj, tplan.segment_bytes)
+    acc: Any = None
+
+    for turn in range(size):
+        arm_phase, rnd_token = round_namespace("red", turn)
+        if turn == root:
+            # The root's own contribution never touches the wire.
+            value = obj
+        elif comm.rank == turn:
+            others = {r for r in range(size) if r != turn}
+            yield from scout_gather_binary(comm, channel, seq, turn,
+                                           phase=("red-hdr", turn))
+            yield from channel.send_data(
+                ("seg-hdr", turn, tplan.nsegs, tplan.batch),
+                SEG_HEADER_BYTES, seq, control=True, kind="mcast-seg-hdr")
+            yield from serve_rounds(comm, channel, seq, turn, mine,
+                                    tplan.batch, others, arm_phase,
+                                    rnd_token)
+            continue
+        elif comm.rank == root:
+            hdr_posted = channel.post_data()
+            yield from scout_gather_binary(comm, channel, seq, turn,
+                                           phase=("red-hdr", turn))
+            while True:
+                src, got_seq, hdr = yield from channel.wait_data(
+                    hdr_posted)
+                if (got_seq == seq and src == turn
+                        and isinstance(hdr, tuple)
+                        and hdr[0] == "seg-hdr" and hdr[1] == turn):
+                    break
+                # A straggler from an earlier collective consumed the
+                # descriptor; re-post and re-wait (FIFO wire: the header
+                # cannot overtake same-source stragglers).
+                hdr_posted = channel.post_data()
+            reasm = yield from follow_rounds(comm, channel, seq, turn,
+                                            hdr[2], hdr[3], arm_phase,
+                                            rnd_token)
+            value = reasm.result()
+        else:
+            # Bystander: stay in lockstep with the turn's repair loop
+            # (arm gathers, empty reports, decisions) without posting
+            # descriptors — the turn's data is not for us.
+            yield from scout_gather_binary(comm, channel, seq, turn,
+                                           phase=("red-hdr", turn))
+            yield from follow_rounds(comm, channel, seq, turn, 1, 1,
+                                     arm_phase, rnd_token, needed=set())
+            continue
+        if comm.rank == root:
+            # Fold strictly in ascending turn (= rank) order: MPI allows
+            # reordering only for commutative ops, so never reorder.
+            acc = value if turn == 0 else op(acc, value)
+    return acc if comm.rank == root else None
+
+
+@register("allreduce", "mcast-seg-nack")
+def allreduce_mcast_seg_nack(comm, obj: Any, op: Op) -> Generator:
+    """Segmented allreduce: mcast-seg reduce to rank 0, then the
+    segmented NACK-repaired broadcast — ``N`` payload streams total
+    against MPICH's ``2(N-1)`` tree copies."""
+    result = yield from reduce_mcast_seg_combine(comm, obj, op, 0)
+    result = yield from bcast_mcast_seg_nack(comm, result, 0)
+    return result

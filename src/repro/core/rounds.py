@@ -1,0 +1,481 @@
+"""Reusable multicast round engine: serve/follow with selective NACK repair.
+
+PR 1/2 grew a reliable segmented-multicast transport inside the broadcast
+implementation; this module extracts it as a standalone **round engine**
+so every collective that streams data through a
+:class:`~repro.core.channel.McastChannel` — broadcast, allgather turns,
+the reduction-side collectives of :mod:`repro.core.mcast_reduce` /
+:mod:`repro.core.mcast_scatter` — shares one serve/follow state machine,
+in the spirit of Träff's decomposition of collectives into reusable
+communication rounds ("Decomposing Collectives for Exploiting Multi-lane
+Communication").
+
+The contract has exactly two sides:
+
+* :func:`serve_rounds` — the **sender**: given a segment stream, it arms
+  the group (scout gather), streams the round's datagrams (rate-paced,
+  see :class:`RoundPacer`), collects per-receiver NACK reports, folds the
+  receivers' descriptor budgets into its pacing, and multicasts repair
+  rounds built from the union of missing sets until every receiver
+  reports complete (or ``max_retransmits`` is exhausted, in which case it
+  tells everyone before raising);
+* :func:`follow_rounds` — a **receiver**: it posts one descriptor per
+  expected datagram (window-limited by :attr:`McastChannel.recv_budget`),
+  arms, drains the round into a :class:`Reassembler`, reports its missing
+  bitmap (plus its budget) and obeys the sender's per-round decision.
+  A ``needed`` subset restricts what the receiver reassembles and
+  reports — the scatter's per-rank addressing, and ``needed=set()`` is a
+  pure *bystander* that stays in lockstep with the repair loop without
+  posting a single descriptor (used by the multicast reduce, where only
+  the root consumes data).
+
+Pacing, budget feedback, selective repair, and the two adaptive
+behaviours below are engine concerns — callers only provide the segment
+stream, the receiver set, and a *round namespace*
+(:func:`round_namespace`) so concurrent/consecutive repair loops on one
+channel never cross-match each other's control traffic.
+
+**Adaptive drain timeout** (:func:`round_drain_timeout_us`).  A receiver
+that lost a round's *tail* can only detect it by silence.  PR 2 waited a
+fixed ``NetParams.seg_drain_timeout_us``; the engine instead scales the
+timeout to the round's expected serialization (wire time + send/receive
+software + pacing gap, per datagram) plus a fixed arming-skew floor
+(``NetParams.seg_drain_floor_us``), capped by the configured timeout.  A
+single-datagram round — the whole-round-lost case of the auto transport
+plan — now NACKs after ~1-2 ms instead of the full fixed timeout.
+
+**Repair re-batching** (:func:`repair_batch`).  Under the auto transport
+policy, a repair round's plan is the actual missing set, not round 0's
+chunking: a scattered handful of lost segments re-packs into a single
+batched datagram (one descriptor, one per-datagram software tax) whenever
+the repair plan fits under ``seg_auto_crossover``.  Both sides derive the
+repair batch from ``(plan, params)``, so descriptor counts still match
+datagram counts exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from dataclasses import dataclass
+
+from .channel import MCAST_HEADER_BYTES, SEG_HEADER_BYTES
+from .scout import scout_gather_binary
+
+__all__ = ["Segment", "Reassembler", "RoundPacer", "auto_gap_us",
+           "chunk_plan", "frame_segment_bytes", "reassemble",
+           "repair_batch", "resolved_segment_bytes",
+           "round_drain_timeout_us", "round_namespace", "serve_rounds",
+           "follow_rounds"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One per-segment-sequenced chunk of a fragmented payload.
+
+    ``opaque`` payloads (anything that is not bytes-like) cannot be
+    sliced for real, so one segment carries the whole object and the rest
+    carry ``None`` — the *sizes* still follow the segmentation plan, so
+    wire timing is identical to a byte payload of the same length.
+    """
+
+    index: int     #: position in the stream, 0-based
+    nsegs: int     #: total segments of this stream
+    nbytes: int    #: user bytes accounted to this segment on the wire
+    chunk: Any     #: bytes slice, or the object (opaque), or None
+    opaque: bool = False
+
+
+def frame_segment_bytes(params) -> int:
+    """The largest segment that still rides a single Ethernet frame:
+    one MTU's UDP payload minus the data and per-segment envelopes."""
+    return max(1, params.max_udp_payload
+               - MCAST_HEADER_BYTES - SEG_HEADER_BYTES)
+
+
+def resolved_segment_bytes(params) -> int:
+    """``NetParams.segment_bytes`` with ``"auto"`` resolved to the
+    frame-sized segment — what every follower may assume about the
+    stream it is about to drain."""
+    seg = params.segment_bytes
+    return frame_segment_bytes(params) if not isinstance(seg, int) else seg
+
+
+def chunk_plan(plan: list[int], batch: int) -> list[list[int]]:
+    """Group a round's segment indices into per-datagram batches.
+
+    Both sides compute this identically from (plan, batch), so the
+    receiver's descriptor count always equals the sender's datagram
+    count.  Repair plans re-batch: scattered losses from different
+    original batches pack together into fewer repair datagrams.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return [plan[i:i + batch] for i in range(0, len(plan), batch)]
+
+
+def repair_batch(params, nplan: int, base_batch: int) -> int:
+    """Batch factor for a repair round whose plan has ``nplan`` segments.
+
+    Under the fully-auto transport policy a repair plan that fits below
+    the crossover ships as **one** batched datagram regardless of round
+    0's chunking — scattered single-segment losses no longer pay one
+    per-datagram software tax each.  Explicit integer ``segment_bytes``
+    or ``seg_batch`` settings pin the wire behaviour and are honoured
+    unchanged.
+    """
+    if (not isinstance(params.segment_bytes, int)
+            and not isinstance(params.seg_batch, int)
+            and 0 < nplan <= params.seg_auto_crossover):
+        return nplan
+    return base_batch
+
+
+def auto_gap_us(params, datagram_bytes: int) -> float:
+    """The resolved ``seg_pace_gap_us="auto"`` inter-datagram gap: the
+    receiver drain estimate plus 25% + 10 µs of margin, absorbing the
+    skew between a receiver's re-post and the next wire arrival.  Shared
+    by the sender's pacer and the follower's drain-timeout estimate so
+    the two sides can never disagree about the stream's pace.
+    """
+    return 1.25 * params.seg_drain_estimate_us(datagram_bytes) + 10.0
+
+
+def round_drain_timeout_us(params, ndatagrams: int,
+                           datagram_bytes: int) -> float:
+    """Adaptive drain timeout for one round of ``ndatagrams`` datagrams.
+
+    Expected per-datagram cost = wire serialization + sender software +
+    receiver drain software + the (resolved) pacing gap; the timeout is
+    that expectation for the whole round plus the
+    ``seg_drain_floor_us`` skew floor (covers the arming-gather depth a
+    leaf receiver starts its timer ahead of the root's first send),
+    capped by the configured ``seg_drain_timeout_us`` so no round ever
+    waits *longer* than the PR 2 fixed behaviour.
+    """
+    cap = params.seg_drain_timeout_us
+    per = (datagram_bytes * 8.0 / params.rate_mbps
+           + params.udp_send_us + params.mcast_send_extra_us
+           + params.seg_drain_estimate_us(datagram_bytes))
+    gap = params.seg_pace_gap_us
+    if not isinstance(gap, (int, float)):
+        gap = auto_gap_us(params, datagram_bytes)
+    expected = max(1, ndatagrams) * (per + float(gap))
+    return min(cap, params.seg_drain_floor_us + expected)
+
+
+def round_namespace(*key) -> tuple[Callable, Callable]:
+    """Build the ``(arm_phase, rnd_token)`` pair namespacing one sender's
+    repair loop.
+
+    ``key`` distinguishes concurrent/consecutive loops on one channel
+    (e.g. ``("ag", turn)`` for each allgather turn); the empty key is the
+    broadcast's single loop.  ``arm_phase(rnd)`` names the scout phase
+    arming round ``rnd``; ``rnd_token(rnd)`` tags that round's
+    report/decision messages.
+    """
+    if not key:
+        return (lambda r: ("seg-arm", r), lambda r: r)
+
+    def arm_phase(r, _key=key):
+        return ("seg-arm",) + _key + (r,)
+
+    def rnd_token(r, _key=key):
+        return _key + (r,)
+
+    return arm_phase, rnd_token
+
+
+def reassemble(segments: list[Segment]) -> Any:
+    """Rebuild the payload from a complete segment set (any order)."""
+    if not segments:
+        raise ValueError("cannot reassemble zero segments")
+    segs = sorted(segments, key=lambda s: s.index)
+    nsegs = segs[0].nsegs
+    if len(segs) != nsegs or [s.index for s in segs] != list(range(nsegs)):
+        raise ValueError(
+            f"incomplete segment set: have {[s.index for s in segs]} "
+            f"of {nsegs}")
+    if segs[0].opaque:
+        return segs[0].chunk
+    return b"".join(s.chunk for s in segs)
+
+
+class Reassembler:
+    """Collects segments by index, tolerating duplicates and tracking
+    the missing bitmap the NACK reports are built from.
+
+    ``needed`` restricts the receiver's interest to a subset of the
+    stream (the scatter's per-rank addressing): only needed segments are
+    stored and reported missing; the rest still count for round-end
+    detection but are otherwise ignored.  ``needed=set()`` is a pure
+    bystander.  The default (``None``) needs the whole stream.
+    """
+
+    def __init__(self, nsegs: int, needed: Optional[set] = None):
+        if nsegs < 1:
+            raise ValueError(f"nsegs must be >= 1, got {nsegs}")
+        self.nsegs = nsegs
+        self.needed = (set(range(nsegs)) if needed is None
+                       else set(needed))
+        if not all(0 <= i < nsegs for i in self.needed):
+            raise ValueError(f"needed {sorted(self.needed)} out of range "
+                             f"for a {nsegs}-segment stream")
+        self.duplicates = 0
+        self._got: dict[int, Segment] = {}
+
+    def add(self, seg: Segment) -> bool:
+        """Accept one segment; returns True iff it was stored."""
+        if seg.nsegs != self.nsegs or not 0 <= seg.index < self.nsegs:
+            raise ValueError(f"segment {seg.index}/{seg.nsegs} does not "
+                             f"belong to a {self.nsegs}-segment payload")
+        if seg.index not in self.needed:
+            return False
+        if seg.index in self._got:
+            self.duplicates += 1
+            return False
+        self._got[seg.index] = seg
+        return True
+
+    @property
+    def complete(self) -> bool:
+        return self.needed <= self._got.keys()
+
+    def missing(self) -> set[int]:
+        return self.needed - self._got.keys()
+
+    def segments(self) -> list[Segment]:
+        """The stored segments, sorted by stream index."""
+        return sorted(self._got.values(), key=lambda s: s.index)
+
+    def result(self) -> Any:
+        """Rebuild a *whole-stream* payload (``needed`` = everything)."""
+        if not self.complete:
+            raise ValueError(f"missing segments {sorted(self.missing())}")
+        return reassemble(list(self._got.values()))
+
+
+# ----------------------------------------------------------------------
+# root-side rate pacing (paper §5 overrun)
+# ----------------------------------------------------------------------
+class RoundPacer:
+    """Inter-datagram pacing state for one sender's segment stream.
+
+    The *gap* is the idle time the sender inserts before each data
+    datagram past the *burst*; the burst is the receivers' smallest
+    known descriptor ring (``None`` = unbounded, no pacing unless a gap
+    is configured).  The auto gap covers the receiver drain estimate
+    with margin, so a ring of even one descriptor is re-posted before
+    the next datagram can arrive.
+    """
+
+    def __init__(self, params, datagram_bytes: int):
+        self._auto_gap = auto_gap_us(params, datagram_bytes)
+        gap = params.seg_pace_gap_us
+        self.gap_us = self._auto_gap if gap == "auto" else float(gap)
+        self.burst: Optional[int] = params.seg_recv_budget
+        self._feedback = params.seg_pace_feedback
+
+    def note_budgets(self, budgets) -> None:
+        """Fold the budgets carried by a round's NACK reports in.
+
+        With feedback enabled, learning that any receiver runs a finite
+        ring turns pacing on for the rounds that follow.
+        """
+        finite = [b for b in budgets if b is not None]
+        if not finite:
+            return
+        smallest = min(finite)
+        self.burst = (smallest if self.burst is None
+                      else min(self.burst, smallest))
+        if self._feedback and self.gap_us <= 0:
+            self.gap_us = self._auto_gap
+
+    def delay_before(self, index: int) -> float:
+        """Gap (µs) to insert before the round's ``index``-th datagram."""
+        if self.gap_us <= 0:
+            return 0.0
+        burst = 1 if self.burst is None else max(1, self.burst)
+        return self.gap_us if index >= burst else 0.0
+
+
+# ----------------------------------------------------------------------
+# engine internals
+# ----------------------------------------------------------------------
+def _post_round(channel, ndatagrams: int) -> list:
+    """Post the round's initial descriptor window — MUST precede the
+    arming scout.  A finite ``recv_budget`` caps the window at the ring
+    size; :func:`_consume_round` slides it as datagrams are consumed."""
+    budget = channel.recv_budget
+    if budget is not None:
+        ndatagrams = max(1, min(budget, ndatagrams))
+    return channel.post_data_many(ndatagrams)
+
+
+def _consume_round(comm, channel, posted, ndatagrams: int, seq,
+                   reasm: Reassembler, last_index: int,
+                   drain_us: float) -> Generator:
+    """Drain one round's datagrams into ``reasm``.
+
+    ``posted`` is the pre-arm descriptor window; up to ``ndatagrams``
+    descriptors are issued in total, re-posting one as each arrival is
+    consumed (the sliding ring of a budget-limited receiver — a re-post
+    that loses the race against an unpaced burst is exactly the paper's
+    §5 overrun, surfacing as a missing segment in the NACK report).
+
+    Datagrams stream in plan order over a FIFO wire, so the round ends
+    the moment ``last_index`` (the highest index of the round's plan)
+    arrives — any descriptor still empty then belongs to a lost datagram
+    and is cancelled immediately, keeping the NACK on the critical path
+    instead of a timeout.  Only when the *tail* of the stream is lost
+    does the receiver fall back to ``drain_us`` of silence (the adaptive
+    :func:`round_drain_timeout_us`).  Either way every leftover
+    descriptor is withdrawn — leaving one behind would swallow a later
+    collective's traffic.  Non-segment or stale-sequence datagrams waste
+    their descriptor; the segments they displaced are simply reported
+    missing and repaired next round.
+    """
+    issued = len(posted)
+    i = 0
+    while i < len(posted):
+        ev = posted[i]
+        if not ev.triggered:
+            timer = comm.sim.timeout(drain_us)
+            yield comm.sim.any_of([ev, timer])
+            if not ev.triggered:
+                channel.cancel_data(posted[i:])
+                return
+        _src, got_seq, payload = yield from channel.wait_data(ev)
+        i += 1
+        if issued < ndatagrams:
+            posted.append(channel.post_data())
+            issued += 1
+        if got_seq != seq:
+            continue
+        if isinstance(payload, Segment):
+            batch = (payload,)
+        elif (isinstance(payload, tuple) and payload
+                and isinstance(payload[0], Segment)):
+            batch = payload
+        else:
+            continue
+        done = False
+        for seg in batch:
+            reasm.add(seg)
+            done = done or seg.index == last_index
+        if done:
+            channel.cancel_data(posted[i:])
+            return
+
+
+# ----------------------------------------------------------------------
+# the serve/follow API
+# ----------------------------------------------------------------------
+def serve_rounds(comm, channel, seq, root: int, segments, batch: int,
+                 receivers, arm_phase, rnd_token) -> Generator:
+    """Sender side of the NACK repair loop: arm, stream (paced), collect
+    reports, decide, repair — until every receiver reports complete.
+
+    ``segments`` is the full stream (round 0's plan is all of it);
+    ``receivers`` is the set of ranks that will report — every rank of
+    the communicator still joins the arming gathers, so pure bystanders
+    must run :func:`follow_rounds` with ``needed=set()``.  ``arm_phase``
+    / ``rnd_token`` come from :func:`round_namespace`.
+    """
+    params = comm.host.params
+    nsegs = len(segments)
+    datagram_bytes = (batch * max(s.nbytes for s in segments)
+                      + batch * SEG_HEADER_BYTES + MCAST_HEADER_BYTES)
+    pacer = RoundPacer(params, datagram_bytes)
+    plan = list(range(nsegs))
+    rnd = 0
+    while True:
+        rbatch = batch if rnd == 0 else repair_batch(params, len(plan),
+                                                     batch)
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase=arm_phase(rnd))
+        for i, chunk in enumerate(chunk_plan(plan, rbatch)):
+            delay = pacer.delay_before(i)
+            if delay > 0:
+                yield comm.sim.timeout(delay)
+            yield from channel.send_batch([segments[j] for j in chunk],
+                                          seq, retransmit=rnd > 0)
+        reports = yield from channel.wait_tagged(receivers, seq,
+                                                 "seg-report",
+                                                 rnd_token(rnd))
+        union: set[int] = set()
+        budgets = []
+        for missing, budget in reports.values():
+            union.update(missing)
+            budgets.append(budget)
+        pacer.note_budgets(budgets)
+        if not union:
+            decision = None
+        elif rnd >= params.max_retransmits:
+            decision = "abort"      # tell receivers before raising,
+        else:                       # so nobody arms a dead round
+            decision = tuple(sorted(union))
+        for dst in sorted(receivers):
+            yield from channel.send_decision(dst, seq, rnd_token(rnd),
+                                             decision, nsegs)
+        if decision is None:
+            return
+        if decision == "abort":
+            raise RuntimeError(
+                f"rank {comm.rank}: gave up after {rnd} repair rounds "
+                f"for seq={seq}; still missing segments {sorted(union)}")
+        rnd += 1
+        plan = list(decision)
+
+
+def follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
+                  arm_phase, rnd_token,
+                  needed: Optional[set] = None) -> Generator:
+    """Receiver side of the NACK repair loop; returns the
+    :class:`Reassembler`.
+
+    A receiver that has everything it needs keeps arming/reporting
+    (other ranks may still need repairs) but posts no descriptors, so
+    the repair frames it does not need die at its posted-only socket.
+    ``needed`` restricts interest to a stream subset (see
+    :class:`Reassembler`); ``needed=set()`` follows the loop as a pure
+    bystander.
+    """
+    params = comm.host.params
+    seg_bytes = resolved_segment_bytes(params)
+    reasm = Reassembler(nsegs, needed=needed)
+    plan = list(range(nsegs))
+    rnd = 0
+    while True:
+        rbatch = batch if rnd == 0 else repair_batch(params, len(plan),
+                                                     batch)
+        if reasm.complete:
+            posted, ndatagrams = [], 0
+        else:
+            ndatagrams = len(chunk_plan(plan, rbatch))
+            posted = _post_round(channel, ndatagrams)
+        yield from scout_gather_binary(comm, channel, seq, root,
+                                       phase=arm_phase(rnd))
+        if ndatagrams:
+            dgram_bytes = (min(rbatch, len(plan))
+                           * (seg_bytes + SEG_HEADER_BYTES)
+                           + MCAST_HEADER_BYTES)
+            drain_us = round_drain_timeout_us(params, ndatagrams,
+                                              dgram_bytes)
+            yield from _consume_round(comm, channel, posted, ndatagrams,
+                                      seq, reasm, last_index=plan[-1],
+                                      drain_us=drain_us)
+        yield from channel.send_report(root, seq, rnd_token(rnd),
+                                       reasm.missing(), nsegs)
+        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
+                                                  rnd_token(rnd))
+        plan_t = decision[root]
+        if plan_t is None:
+            return reasm
+        if plan_t == "abort":
+            raise RuntimeError(
+                f"rank {comm.rank}: root gave up repairing segmented "
+                f"transfer seq={seq}; still missing "
+                f"{sorted(reasm.missing())}")
+        plan = list(plan_t)
+        rnd += 1

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Generator
 
 __all__ = ["scout_gather_binary", "scout_gather_linear",
-           "binary_tree_steps", "scout_count"]
+           "scout_scatter_binary", "binary_tree_steps", "scout_count"]
 
 
 def scout_count(n: int) -> int:
@@ -73,6 +73,38 @@ def scout_gather_binary(comm, channel, seq: int,
             if missing:  # pragma: no cover - no timeout passed
                 raise AssertionError("scout gather timed out")
         mask <<= 1
+
+
+def scout_scatter_binary(comm, channel, seq: int, root: int = 0,
+                         tag: str = "scval", value=None) -> Generator:
+    """Binomial top-down scatter of one small ``value`` from ``root`` —
+    the mirror of :func:`scout_gather_binary`, riding the buffered scout
+    socket as ``(tag, 0, value)`` tagged messages (scout-sized frames,
+    ``N-1`` of them, ``ceil(log2 N)`` sequential steps).
+
+    Every rank returns the root's value.  The "auto" collective-selection
+    layer uses this to announce the root's per-call implementation
+    choice before any rank commits to an algorithm's traffic pattern.
+    """
+    from ..mpi.collective.bcast_p2p import binomial_children
+    from .channel import SCOUT_BYTES
+
+    size = comm.size
+    if size == 1:
+        return value
+    rel = (comm.rank - root) % size
+    if rel != 0:
+        mask = 1
+        while not rel & mask:
+            mask <<= 1
+        parent = ((rel & ~mask) + root) % size
+        got = yield from channel.wait_tagged({parent}, seq, tag, 0)
+        value = got[parent]
+    for child in binomial_children(rel, size):
+        dst = (child + root) % size
+        yield from channel.send_tagged(dst, seq, tag, 0, value,
+                                       SCOUT_BYTES, kind="scout-dec")
+    return value
 
 
 def scout_gather_linear(comm, channel, seq: int,

@@ -12,16 +12,23 @@ broadcasts of Zhou et al. and Träff's multi-lane decompositions:
 2. the root **streams** all segments back-to-back through the
    :class:`~repro.core.channel.McastChannel` (pipelined: the wire
    serializes while the host prepares the next segment), optionally
-   inserting a rate-pacing gap between datagrams (see *pacing* below);
-3. receivers pre-post descriptors (``post_data_many``), reassemble by
-   segment index, and report the **bitmap of missing segments** to the
-   root over the buffered scout socket — immediately once the round's
-   highest-index segment arrives (the stream is FIFO, so nothing later
-   is coming), or after ``seg_drain_timeout_us`` of silence when the
-   stream's tail was lost;
+   inserting a rate-pacing gap between datagrams;
+3. receivers pre-post descriptors, reassemble by segment index, and
+   report the **bitmap of missing segments** to the root over the
+   buffered scout socket;
 4. the root re-multicasts **only the union of missing segments**
    (selective NACK repair), round by round, until every receiver reports
    an empty bitmap.
+
+Since PR 3 the arm/stream/report/decide state machine itself lives in
+the reusable round engine of :mod:`repro.core.rounds`
+(:func:`~repro.core.rounds.serve_rounds` /
+:func:`~repro.core.rounds.follow_rounds`): this module owns payload
+*planning* (segment sizing, batching, fragmentation, the closed-form
+frame/datagram formulas) plus the broadcast and allgather collectives
+built on the engine; :mod:`repro.core.mcast_reduce` and
+:mod:`repro.core.mcast_scatter` add the reduction-side collectives on
+the same engine.
 
 Round structure of ``mcast-seg-nack`` (N ranks, root r):
 
@@ -45,13 +52,17 @@ protocol step.
 **Adaptive transport plan** (:func:`plan_transport`).  With
 ``NetParams.segment_bytes = "auto"`` the logical segment size is derived
 from the MTU (one segment per Ethernet frame), and the **batch factor**
-adapts to the payload: below :attr:`NetParams.seg_auto_crossover`
-segments the whole round ships as a *single* batched datagram — one
-receive-descriptor, one per-datagram software tax — so small payloads
-never pay the per-segment receive tax that put the PR 1 crossover
-against ``mcast-ack`` at ~10 segments.  Above the crossover the batch
-factor drops to 1 for full selective-repair granularity.  Explicit
-integer ``segment_bytes`` / ``seg_batch`` values override the policy.
+(:func:`auto_batch`) adapts to the payload: below
+:attr:`NetParams.seg_auto_crossover` segments the whole round ships as a
+*single* batched datagram — one receive-descriptor, one per-datagram
+software tax — so small payloads never pay the per-segment receive tax
+that put the PR 1 crossover against ``mcast-ack`` at ~10 segments.
+Above the crossover the batch factor drops to 1 for full
+selective-repair granularity.  Explicit integer ``segment_bytes`` /
+``seg_batch`` values override the policy.  Repair rounds under the auto
+policy re-batch from the *actual* missing set
+(:func:`~repro.core.rounds.repair_batch`), so scattered losses pack into
+one repair datagram.
 
 **Frame-count formula** (asserted by ``benchmarks/bench_segmented_bcast.py``
 and ``tests/test_segment.py``).  For N ranks, S segments, R repair rounds
@@ -67,17 +78,17 @@ re-sending unions U_1..U_R (U_0 = all S segments)::
                     = 1 + (N-1)(3(R+1) + 1) + S + sum(|U_r|, r >= 1)
 
 **Batched generalization.**  With batch factor B, round r's |U_r|
-segments ride ``ceil(|U_r| / B)`` datagrams instead of |U_r|.  The
-*Ethernet frame* count above is unchanged for frame-sized segments: a
-batched datagram of k segments IP-fragments into exactly k frames,
-because each extra segment adds 4 envelope bytes
-(:data:`~repro.core.channel.SEG_HEADER_BYTES`) while each extra fragment
-offers 20 bytes of header slack.  What batching changes is the
-*datagram* count — the unit of per-receive software tax and of
-descriptor usage::
+segments ride ``ceil(|U_r| / B_r)`` datagrams instead of |U_r| (B_0 = B;
+repair rounds may re-batch, see above).  The *Ethernet frame* count
+above is unchanged for frame-sized segments: a batched datagram of k
+segments IP-fragments into exactly k frames, because each extra segment
+adds 4 envelope bytes (:data:`~repro.core.channel.SEG_HEADER_BYTES`)
+while each extra fragment offers 20 bytes of header slack.  What
+batching changes is the *datagram* count — the unit of per-receive
+software tax and of descriptor usage::
 
     datagrams(N, S, R, B) = 1 + (N-1)(3(R+1) + 1)
-                          + ceil(S/B) + sum(ceil(|U_r|/B), r >= 1)
+                          + ceil(S/B) + sum(ceil(|U_r|/B_r), r >= 1)
 
 (:func:`seg_nack_frame_count` / :func:`seg_nack_datagram_count` export
 both closed forms.)  Loss-free this is ``1 + 4(N-1) + S`` frames —
@@ -87,17 +98,9 @@ to what was actually lost, not to the payload (contrast ``mcast-ack``:
 one full S-frame resend per timeout).
 
 **Pacing** (paper §5: "a set of fast senders overrunning a single
-receiver").  Receivers may run a finite descriptor ring
-(:attr:`McastChannel.recv_budget`): they post at most that many
-descriptors and re-post one as each datagram is consumed.  An unpaced
-burst longer than the ring then *overruns* the receiver — the dropped
-datagrams are NACK-repaired, but each costs a repair round.  The root
-therefore paces its stream: ``NetParams.seg_pace_gap_us`` inserts an
-inter-datagram gap (``"auto"`` derives it from the receiver drain
-estimate :meth:`NetParams.seg_drain_estimate_us`), and with
-``seg_pace_feedback`` the NACK reports' budget field makes the root
-shrink its burst to the smallest reported ring and auto-pace every
-repair round — slow receivers throttle the stream instead of losing it.
+receiver") is an engine concern — see
+:class:`~repro.core.rounds.RoundPacer` and the module docstring of
+:mod:`repro.core.rounds` for the descriptor-budget feedback loop.
 
 The allgather variant ``mcast-seg-paced`` applies the same machinery to
 the many-to-many case: after the paced ready round, each rank takes a
@@ -113,32 +116,18 @@ from typing import Any, Generator, Optional
 
 from ..mpi.collective.registry import register
 from ..mpi.datatypes import payload_bytes
-from .channel import MCAST_HEADER_BYTES, SEG_HEADER_BYTES
+from .channel import SEG_HEADER_BYTES
 from .mcast_allgather import _ready_round
+from .rounds import (Reassembler, Segment, chunk_plan, follow_rounds,
+                     frame_segment_bytes, reassemble, round_namespace,
+                     serve_rounds)
 from .scout import scout_gather_binary
 
-__all__ = ["Segment", "Reassembler", "TransportPlan", "plan_transport",
-           "frame_segment_bytes", "chunk_plan", "plan_segments",
-           "fragment", "reassemble", "bcast_mcast_seg_nack",
-           "allgather_mcast_seg_paced", "seg_nack_frame_count",
-           "seg_nack_datagram_count"]
-
-
-@dataclass(frozen=True)
-class Segment:
-    """One per-segment-sequenced chunk of a fragmented payload.
-
-    ``opaque`` payloads (anything that is not bytes-like) cannot be
-    sliced for real, so segment 0 carries the whole object and the rest
-    carry ``None`` — the *sizes* still follow the segmentation plan, so
-    wire timing is identical to a byte payload of the same length.
-    """
-
-    index: int     #: position in the payload, 0-based
-    nsegs: int     #: total segments of this payload
-    nbytes: int    #: user bytes accounted to this segment on the wire
-    chunk: Any     #: bytes slice, or the object (opaque, index 0), or None
-    opaque: bool = False
+__all__ = ["Segment", "Reassembler", "TransportPlan", "auto_batch",
+           "plan_transport", "frame_segment_bytes", "chunk_plan",
+           "plan_segments", "fragment", "reassemble",
+           "bcast_mcast_seg_nack", "allgather_mcast_seg_paced",
+           "seg_nack_frame_count", "seg_nack_datagram_count"]
 
 
 def plan_segments(nbytes: int, segment_bytes: int) -> list[int]:
@@ -156,13 +145,6 @@ def plan_segments(nbytes: int, segment_bytes: int) -> list[int]:
     return [segment_bytes] * full + ([part] if part else [])
 
 
-def frame_segment_bytes(params) -> int:
-    """The largest segment that still rides a single Ethernet frame:
-    one MTU's UDP payload minus the data and per-segment envelopes."""
-    return max(1, params.max_udp_payload
-               - MCAST_HEADER_BYTES - SEG_HEADER_BYTES)
-
-
 @dataclass(frozen=True)
 class TransportPlan:
     """The resolved segmentation policy for one payload: logical segment
@@ -176,6 +158,24 @@ class TransportPlan:
     def ndatagrams(self) -> int:
         """Data datagrams of the loss-free round (``ceil(S/B)``)."""
         return -(-self.nsegs // self.batch)
+
+
+def auto_batch(params, nsegs: int) -> int:
+    """Resolve ``NetParams.seg_batch`` for a plan of ``nsegs`` segments.
+
+    An explicit int forces that batch factor; otherwise the adaptive
+    policy batches the whole plan into one datagram below
+    ``seg_auto_crossover`` segments (only when ``segment_bytes`` is also
+    ``"auto"``), and falls back to one segment per datagram above it.
+    """
+    batch = params.seg_batch
+    if not isinstance(batch, int):
+        auto = params.segment_bytes == "auto"
+        batch = (nsegs if auto and nsegs <= params.seg_auto_crossover
+                 else 1)
+    if batch < 1:
+        raise ValueError(f"seg_batch must be >= 1, got {batch}")
+    return min(batch, max(nsegs, 1))
 
 
 def plan_transport(nbytes: int, params) -> TransportPlan:
@@ -192,27 +192,8 @@ def plan_transport(nbytes: int, params) -> TransportPlan:
     auto = params.segment_bytes == "auto"
     seg = frame_segment_bytes(params) if auto else params.segment_bytes
     nsegs = len(plan_segments(nbytes, seg))
-    batch = params.seg_batch
-    if not isinstance(batch, int):
-        batch = (nsegs if auto and nsegs <= params.seg_auto_crossover
-                 else 1)
-    if batch < 1:
-        raise ValueError(f"seg_batch must be >= 1, got {batch}")
-    return TransportPlan(segment_bytes=seg, batch=min(batch, nsegs),
-                         nsegs=nsegs)
-
-
-def chunk_plan(plan: list[int], batch: int) -> list[list[int]]:
-    """Group a round's segment indices into per-datagram batches.
-
-    Both sides compute this identically from (plan, batch), so the
-    receiver's descriptor count always equals the sender's datagram
-    count.  Repair plans re-batch: scattered losses from different
-    original batches pack together into fewer repair datagrams.
-    """
-    if batch < 1:
-        raise ValueError(f"batch must be >= 1, got {batch}")
-    return [plan[i:i + batch] for i in range(0, len(plan), batch)]
+    return TransportPlan(segment_bytes=seg,
+                         batch=auto_batch(params, nsegs), nsegs=nsegs)
 
 
 def fragment(obj: Any, segment_bytes: int) -> list[Segment]:
@@ -237,56 +218,6 @@ def fragment(obj: Any, segment_bytes: int) -> list[Segment]:
             for i, sz in enumerate(sizes)]
 
 
-def reassemble(segments: list[Segment]) -> Any:
-    """Rebuild the payload from a complete segment set (any order)."""
-    if not segments:
-        raise ValueError("cannot reassemble zero segments")
-    segs = sorted(segments, key=lambda s: s.index)
-    nsegs = segs[0].nsegs
-    if len(segs) != nsegs or [s.index for s in segs] != list(range(nsegs)):
-        raise ValueError(
-            f"incomplete segment set: have {[s.index for s in segs]} "
-            f"of {nsegs}")
-    if segs[0].opaque:
-        return segs[0].chunk
-    return b"".join(s.chunk for s in segs)
-
-
-class Reassembler:
-    """Collects segments by index, tolerating duplicates and tracking
-    the missing bitmap the NACK reports are built from."""
-
-    def __init__(self, nsegs: int):
-        if nsegs < 1:
-            raise ValueError(f"nsegs must be >= 1, got {nsegs}")
-        self.nsegs = nsegs
-        self.duplicates = 0
-        self._got: dict[int, Segment] = {}
-
-    def add(self, seg: Segment) -> bool:
-        """Accept one segment; returns False for a duplicate."""
-        if seg.nsegs != self.nsegs or not 0 <= seg.index < self.nsegs:
-            raise ValueError(f"segment {seg.index}/{seg.nsegs} does not "
-                             f"belong to a {self.nsegs}-segment payload")
-        if seg.index in self._got:
-            self.duplicates += 1
-            return False
-        self._got[seg.index] = seg
-        return True
-
-    @property
-    def complete(self) -> bool:
-        return len(self._got) == self.nsegs
-
-    def missing(self) -> set[int]:
-        return set(range(self.nsegs)) - self._got.keys()
-
-    def result(self) -> Any:
-        if not self.complete:
-            raise ValueError(f"missing segments {sorted(self.missing())}")
-        return reassemble(list(self._got.values()))
-
-
 def seg_nack_frame_count(n: int, nsegs: int,
                          repairs: Optional[list[int]] = None) -> int:
     """The documented *frame*-count formula (see module docstring).
@@ -302,223 +233,30 @@ def seg_nack_frame_count(n: int, nsegs: int,
 
 
 def seg_nack_datagram_count(n: int, nsegs: int, batch: int = 1,
-                            repairs: Optional[list[int]] = None) -> int:
+                            repairs: Optional[list[int]] = None,
+                            repair_batches: Optional[list[int]] = None
+                            ) -> int:
     """The documented *datagram*-count formula (see module docstring):
     like :func:`seg_nack_frame_count` but counting per-receive software
-    events, so the data terms shrink by the batch factor."""
+    events, so the data terms shrink by the batch factor.
+
+    ``repair_batches`` gives the per-repair-round batch factor when the
+    engine re-batched from the missing set
+    (:func:`~repro.core.rounds.repair_batch`); it defaults to ``batch``
+    for every repair round.
+    """
     if n < 2:
         return 0
     repairs = repairs or []
+    if repair_batches is None:
+        repair_batches = [batch] * len(repairs)
+    if len(repair_batches) != len(repairs):
+        raise ValueError(f"{len(repairs)} repair rounds but "
+                         f"{len(repair_batches)} repair batch factors")
     rounds = 1 + len(repairs)
-    data = -(-nsegs // batch) + sum(-(-u // batch) for u in repairs)
+    data = -(-nsegs // batch) + sum(
+        -(-u // b) for u, b in zip(repairs, repair_batches))
     return 1 + (n - 1) * (3 * rounds + 1) + data
-
-
-# ----------------------------------------------------------------------
-# root-side rate pacing (paper §5 overrun)
-# ----------------------------------------------------------------------
-class _RootPacer:
-    """Inter-datagram pacing state for one sender's segment stream.
-
-    The *gap* is the idle time the root inserts before each data
-    datagram past the *burst*; the burst is the receivers' smallest
-    known descriptor ring (``None`` = unbounded, no pacing unless a gap
-    is configured).  The auto gap covers the receiver drain estimate
-    with margin, so a ring of even one descriptor is re-posted before
-    the next datagram can arrive.
-    """
-
-    def __init__(self, params, datagram_bytes: int):
-        drain = params.seg_drain_estimate_us(datagram_bytes)
-        # 25% + 10 µs of margin over the drain estimate absorbs the
-        # skew between a receiver's re-post and the next wire arrival.
-        self._auto_gap = 1.25 * drain + 10.0
-        gap = params.seg_pace_gap_us
-        self.gap_us = self._auto_gap if gap == "auto" else float(gap)
-        self.burst: Optional[int] = params.seg_recv_budget
-        self._feedback = params.seg_pace_feedback
-
-    def note_budgets(self, budgets) -> None:
-        """Fold the budgets carried by a round's NACK reports in.
-
-        With feedback enabled, learning that any receiver runs a finite
-        ring turns pacing on for the rounds that follow.
-        """
-        finite = [b for b in budgets if b is not None]
-        if not finite:
-            return
-        smallest = min(finite)
-        self.burst = (smallest if self.burst is None
-                      else min(self.burst, smallest))
-        if self._feedback and self.gap_us <= 0:
-            self.gap_us = self._auto_gap
-
-    def delay_before(self, index: int) -> float:
-        """Gap (µs) to insert before the round's ``index``-th datagram."""
-        if self.gap_us <= 0:
-            return 0.0
-        burst = 1 if self.burst is None else max(1, self.burst)
-        return self.gap_us if index >= burst else 0.0
-
-
-# ----------------------------------------------------------------------
-# shared round machinery (used by the bcast root and each allgather turn)
-# ----------------------------------------------------------------------
-def _post_round(channel, ndatagrams: int) -> list:
-    """Post the round's initial descriptor window — MUST precede the
-    arming scout.  A finite ``recv_budget`` caps the window at the ring
-    size; :func:`_consume_round` slides it as datagrams are consumed."""
-    budget = channel.recv_budget
-    if budget is not None:
-        ndatagrams = max(1, min(budget, ndatagrams))
-    return channel.post_data_many(ndatagrams)
-
-
-def _consume_round(comm, channel, posted, ndatagrams: int, seq,
-                   reasm: Reassembler, last_index: int) -> Generator:
-    """Drain one round's datagrams into ``reasm``.
-
-    ``posted`` is the pre-arm descriptor window; up to ``ndatagrams``
-    descriptors are issued in total, re-posting one as each arrival is
-    consumed (the sliding ring of a budget-limited receiver — a re-post
-    that loses the race against an unpaced burst is exactly the paper's
-    §5 overrun, surfacing as a missing segment in the NACK report).
-
-    Datagrams stream in plan order over a FIFO wire, so the round ends
-    the moment ``last_index`` (the highest index of the round's plan)
-    arrives — any descriptor still empty then belongs to a lost datagram
-    and is cancelled immediately, keeping the NACK on the critical path
-    instead of a timeout.  Only when the *tail* of the stream is lost
-    does the receiver fall back to ``seg_drain_timeout_us`` of silence.
-    Either way every leftover descriptor is withdrawn — leaving one
-    behind would swallow a later collective's traffic.  Non-segment or
-    stale-sequence datagrams waste their descriptor; the segments they
-    displaced are simply reported missing and repaired next round.
-    """
-    drain_us = comm.host.params.seg_drain_timeout_us
-    issued = len(posted)
-    i = 0
-    while i < len(posted):
-        ev = posted[i]
-        if not ev.triggered:
-            timer = comm.sim.timeout(drain_us)
-            yield comm.sim.any_of([ev, timer])
-            if not ev.triggered:
-                channel.cancel_data(posted[i:])
-                return
-        _src, got_seq, payload = yield from channel.wait_data(ev)
-        i += 1
-        if issued < ndatagrams:
-            posted.append(channel.post_data())
-            issued += 1
-        if got_seq != seq:
-            continue
-        if isinstance(payload, Segment):
-            batch = (payload,)
-        elif (isinstance(payload, tuple) and payload
-                and isinstance(payload[0], Segment)):
-            batch = payload
-        else:
-            continue
-        done = False
-        for seg in batch:
-            reasm.add(seg)
-            done = done or seg.index == last_index
-        if done:
-            channel.cancel_data(posted[i:])
-            return
-
-
-def _serve_rounds(comm, channel, seq, root: int, segments, batch: int,
-                  receivers, arm_phase, rnd_token) -> Generator:
-    """Sender side of the NACK repair loop: arm, stream (paced), collect
-    reports, decide, repair — until every receiver reports complete.
-
-    ``arm_phase(rnd)`` / ``rnd_token(rnd)`` namespace the scout phases
-    and report/decision rounds, so the broadcast and each allgather turn
-    reuse this machinery without cross-matching each other's control
-    traffic.
-    """
-    params = comm.host.params
-    nsegs = len(segments)
-    datagram_bytes = (batch * max(s.nbytes for s in segments)
-                      + batch * SEG_HEADER_BYTES + MCAST_HEADER_BYTES)
-    pacer = _RootPacer(params, datagram_bytes)
-    plan = list(range(nsegs))
-    rnd = 0
-    while True:
-        yield from scout_gather_binary(comm, channel, seq, root,
-                                       phase=arm_phase(rnd))
-        for i, chunk in enumerate(chunk_plan(plan, batch)):
-            delay = pacer.delay_before(i)
-            if delay > 0:
-                yield comm.sim.timeout(delay)
-            yield from channel.send_batch([segments[j] for j in chunk],
-                                          seq, retransmit=rnd > 0)
-        reports = yield from channel.wait_tagged(receivers, seq,
-                                                 "seg-report",
-                                                 rnd_token(rnd))
-        union: set[int] = set()
-        budgets = []
-        for missing, budget in reports.values():
-            union.update(missing)
-            budgets.append(budget)
-        pacer.note_budgets(budgets)
-        if not union:
-            decision = None
-        elif rnd >= params.max_retransmits:
-            decision = "abort"      # tell receivers before raising,
-        else:                       # so nobody arms a dead round
-            decision = tuple(sorted(union))
-        for dst in sorted(receivers):
-            yield from channel.send_decision(dst, seq, rnd_token(rnd),
-                                             decision, nsegs)
-        if decision is None:
-            return
-        if decision == "abort":
-            raise RuntimeError(
-                f"rank {comm.rank}: gave up after {rnd} repair rounds "
-                f"for seq={seq}; still missing segments {sorted(union)}")
-        rnd += 1
-        plan = list(decision)
-
-
-def _follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
-                   arm_phase, rnd_token) -> Generator:
-    """Receiver side of the NACK repair loop; returns the full
-    :class:`Reassembler`.
-
-    A fully-reassembled receiver keeps arming/reporting (other ranks may
-    still need repairs) but posts no descriptors, so the repair frames
-    it does not need die at its posted-only socket.
-    """
-    reasm = Reassembler(nsegs)
-    plan = list(range(nsegs))
-    rnd = 0
-    while True:
-        if reasm.complete:
-            posted, ndatagrams = [], 0
-        else:
-            ndatagrams = len(chunk_plan(plan, batch))
-            posted = _post_round(channel, ndatagrams)
-        yield from scout_gather_binary(comm, channel, seq, root,
-                                       phase=arm_phase(rnd))
-        yield from _consume_round(comm, channel, posted, ndatagrams, seq,
-                                  reasm, last_index=plan[-1])
-        yield from channel.send_report(root, seq, rnd_token(rnd),
-                                       reasm.missing(), nsegs)
-        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
-                                                  rnd_token(rnd))
-        plan_t = decision[root]
-        if plan_t is None:
-            return reasm
-        if plan_t == "abort":
-            raise RuntimeError(
-                f"rank {comm.rank}: root gave up repairing segmented "
-                f"transfer seq={seq}; still missing "
-                f"{sorted(reasm.missing())}")
-        plan = list(plan_t)
-        rnd += 1
 
 
 # ----------------------------------------------------------------------
@@ -533,6 +271,7 @@ def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
     if comm.size == 1:
         return obj
     receivers = {r for r in range(comm.size) if r != root}
+    arm_phase, rnd_token = round_namespace()
 
     if comm.rank == root:
         tplan = plan_transport(payload_bytes(obj), params)
@@ -542,9 +281,9 @@ def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
         yield from channel.send_data(
             ("seg-hdr", tplan.nsegs, tplan.batch), SEG_HEADER_BYTES, seq,
             control=True, kind="mcast-seg-hdr")
-        yield from _serve_rounds(
-            comm, channel, seq, root, segments, tplan.batch, receivers,
-            arm_phase=lambda r: ("seg-arm", r), rnd_token=lambda r: r)
+        yield from serve_rounds(comm, channel, seq, root, segments,
+                                tplan.batch, receivers, arm_phase,
+                                rnd_token)
         return obj
 
     # Receiver: header phase — one descriptor, posted before the scout.
@@ -560,9 +299,8 @@ def bcast_mcast_seg_nack(comm, obj: Any, root: int = 0) -> Generator:
         # (the header cannot overtake same-source stragglers: FIFO wire).
         hdr_posted = channel.post_data()
     _tag, nsegs, batch = hdr
-    reasm = yield from _follow_rounds(
-        comm, channel, seq, root, nsegs, batch,
-        arm_phase=lambda r: ("seg-arm", r), rnd_token=lambda r: r)
+    reasm = yield from follow_rounds(comm, channel, seq, root, nsegs,
+                                     batch, arm_phase, rnd_token)
     return reasm.result()
 
 
@@ -596,12 +334,7 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
     yield from _ready_round(comm, channel, seq)
 
     for turn in range(size):
-        def arm_phase(r, t=turn):
-            return ("ag-arm", t, r)
-
-        def rnd_token(r, t=turn):
-            return ("ag", t, r)
-
+        arm_phase, rnd_token = round_namespace("ag", turn)
         if turn == comm.rank:
             others = {r for r in range(size) if r != turn}
             yield from scout_gather_binary(comm, channel, seq, turn,
@@ -609,9 +342,9 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
             yield from channel.send_data(
                 ("seg-hdr", turn, tplan.nsegs, tplan.batch),
                 SEG_HEADER_BYTES, seq, control=True, kind="mcast-seg-hdr")
-            yield from _serve_rounds(comm, channel, seq, turn, mine,
-                                     tplan.batch, others, arm_phase,
-                                     rnd_token)
+            yield from serve_rounds(comm, channel, seq, turn, mine,
+                                    tplan.batch, others, arm_phase,
+                                    rnd_token)
             continue
         hdr_posted = channel.post_data()
         yield from scout_gather_binary(comm, channel, seq, turn,
@@ -623,8 +356,8 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
                 f"rank {comm.rank}: seg-paced allgather pacing violated "
                 f"(expected turn {turn} header, got src={src}, "
                 f"payload={hdr!r}, seq={got_seq}/{seq})")
-        reasm = yield from _follow_rounds(comm, channel, seq, turn,
-                                         hdr[2], hdr[3], arm_phase,
-                                         rnd_token)
+        reasm = yield from follow_rounds(comm, channel, seq, turn,
+                                        hdr[2], hdr[3], arm_phase,
+                                        rnd_token)
         results[turn] = reasm.result()
     return results

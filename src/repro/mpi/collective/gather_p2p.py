@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, Sequence
 
-from ..datatypes import payload_bytes
 from .bcast_p2p import binomial_children, binomial_parent
 from .registry import register
 from .tags import TAG_GATHER, TAG_SCATTER

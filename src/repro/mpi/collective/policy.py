@@ -1,0 +1,190 @@
+"""Payload-aware collective implementation selection — the ``"auto"`` layer.
+
+The registry's static :data:`~repro.mpi.collective.registry.DEFAULTS`
+table answers "which algorithm?" once per communicator; real MPI
+libraries answer it **per call**, from the message size and the process
+count (MPICH's size-thresholded algorithm tables; the topology-aware
+multilevel selection of Karonis & de Supinski).  This module is that
+policy layer:
+
+* ``comm.use_collectives(bcast="auto")`` marks an op for per-call
+  resolution; :func:`resolve_auto` then picks between the op's p2p
+  baseline and its segmented-multicast implementation
+  (:data:`AUTO_CHOICES`) each time the collective is invoked;
+* :meth:`~repro.mpi.communicator.Communicator.set_collective_policy`
+  installs a *hook* that replaces the static table wholesale — it sees
+  every dispatch and may return any registered name (or ``"auto"`` to
+  fall through to the payload-aware resolution).
+
+The decision metric is the paper's §3 currency: **closed-form Ethernet
+frame counts** (:func:`p2p_frame_estimate` / :func:`seg_frame_estimate`),
+built from the calibration constants (``frames_for``, ``mpi_header``)
+and the segmented transport's formulas (``plan_transport``,
+``seg_nack_frame_count``).  Small payloads keep the p2p trees (the
+multicast scout/report/decision control tax dominates); large payloads
+switch to the segmented streams (one copy of the payload on the wire
+instead of per-edge copies).  ``reduce`` is the documented exception:
+many-to-one traffic gains no frame advantage from multicast at any
+size, so auto keeps the binomial tree and the segmented reduce exists
+for lossy-transport scenarios and as the allreduce building block.
+
+**Consistency.**  Every rank must dispatch the same implementation or
+the collective deadlocks (paper §4 safety).  For ops whose payload every
+rank holds (``reduce``, ``allreduce`` — MPI requires identical sizes),
+resolution is local and free.  For rooted ops (``bcast``, ``scatter``)
+only the root knows the payload, so it announces its choice down the
+binomial scout tree (:func:`~repro.core.scout.scout_scatter_binary`) —
+``N-1`` scout-sized frames, ``log2 N`` deep, independent of the payload.
+``allgather`` anchors the announcement at rank 0 so heterogeneous
+contribution sizes can never split the group's decision.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import payload_bytes
+
+__all__ = ["AUTO", "AUTO_CHOICES", "auto_impl", "p2p_frame_estimate",
+           "seg_frame_estimate", "resolve_auto"]
+
+#: the pseudo-implementation name accepted by ``use_collectives``
+AUTO = "auto"
+
+#: op -> (p2p baseline, segmented multicast implementation)
+AUTO_CHOICES: dict[str, tuple[str, str]] = {
+    "bcast": ("p2p-binomial", "mcast-seg-nack"),
+    "reduce": ("p2p-binomial", "mcast-seg-combine"),
+    "allreduce": ("p2p-reduce-bcast", "mcast-seg-nack"),
+    "scatter": ("p2p-binomial", "mcast-seg-root"),
+    "allgather": ("p2p-gather-bcast", "mcast-seg-paced"),
+}
+
+
+def _p2p_msg_frames(params, nbytes: int) -> int:
+    """Frames of one p2p message (payload + MPI envelope)."""
+    return params.frames_for(nbytes + params.mpi_header)
+
+
+def _steps(size: int) -> int:
+    """Sequential steps of a binomial tree: ``ceil(log2 size)``."""
+    return max(1, (size - 1).bit_length())
+
+
+def p2p_frame_estimate(op: str, nbytes: int, size: int, params) -> int:
+    """Closed-form frame count of the op's p2p baseline.
+
+    ``nbytes`` is the op's natural payload: the broadcast/reduce
+    message, the scatter's *total* sequence, the allgather's per-rank
+    contribution.
+    """
+    from ...analysis.framecount import model_p2p_tree_frames
+
+    if size < 2:
+        return 0
+    if op in ("bcast", "reduce"):
+        # every tree edge carries the whole payload once
+        return model_p2p_tree_frames(params, size, nbytes)
+    if op == "allreduce":
+        return 2 * model_p2p_tree_frames(params, size, nbytes)
+    if op == "scatter":
+        # level i has 2^(i-1) edges, each forwarding a subtree share of
+        # ~nbytes/2^i (exact for power-of-two sizes, close otherwise)
+        total = 0
+        for i in range(1, _steps(size) + 1):
+            total += min(2 ** (i - 1), size - 1) * _p2p_msg_frames(
+                params, nbytes >> i)
+        return total
+    if op == "allgather":
+        # gather of per-rank contributions (lower bound: each crosses
+        # one edge) + broadcast of the full list down the tree
+        return ((size - 1) * _p2p_msg_frames(params, nbytes)
+                + (size - 1) * _p2p_msg_frames(params, nbytes * size))
+    raise KeyError(f"no p2p frame estimate for collective {op!r}")
+
+
+def seg_frame_estimate(op: str, nbytes: int, size: int, params) -> int:
+    """Closed-form frame count of the op's segmented-multicast impl
+    (delegating to the shared models in
+    :mod:`repro.analysis.framecount`, the same closed forms the benches
+    assert against the simulator)."""
+    from ...analysis.framecount import (model_seg_allreduce_frames,
+                                        model_seg_reduce_frames,
+                                        model_seg_scatter_frames)
+    from ...core.segment import plan_transport, seg_nack_frame_count
+
+    if size < 2:
+        return 0
+    nsegs = plan_transport(nbytes, params).nsegs
+    if op == "bcast":
+        return seg_nack_frame_count(size, nsegs)
+    if op == "reduce":
+        # one engine stream per non-root contributor
+        return model_seg_reduce_frames(size, nsegs)
+    if op == "allreduce":
+        return model_seg_allreduce_frames(size, nsegs)
+    if op == "scatter":
+        # one global stream of every non-root rank's share
+        share = plan_transport(-(-nbytes // size), params).nsegs
+        return model_seg_scatter_frames(size, [share] * (size - 1))
+    if op == "allgather":
+        # paced ready round + one engine stream per rank
+        return 2 * (size - 1) + size * seg_nack_frame_count(size, nsegs)
+    raise KeyError(f"no segmented frame estimate for collective {op!r}")
+
+
+def auto_impl(op: str, nbytes: int, size: int, params) -> str:
+    """Pick the implementation for one call: the segmented multicast
+    entry iff its frame estimate is at or below the p2p baseline's."""
+    try:
+        p2p_name, seg_name = AUTO_CHOICES[op]
+    except KeyError:
+        raise KeyError(
+            f"no auto selection policy for collective {op!r}; "
+            f"auto-capable ops: {sorted(AUTO_CHOICES)}") from None
+    if size < 2:
+        return p2p_name
+    seg = seg_frame_estimate(op, nbytes, size, params)
+    p2p = p2p_frame_estimate(op, nbytes, size, params)
+    return seg_name if seg <= p2p else p2p_name
+
+
+def resolve_auto(comm, op: str, args: tuple) -> Generator:
+    """Resolve ``"auto"`` for one dispatch; every rank returns the same
+    registered implementation name (see module docstring for how
+    consistency is guaranteed per op).
+    """
+    if op not in AUTO_CHOICES:
+        # raise identically on every rank BEFORE any traffic: a policy
+        # hook returning "auto" for an op without a policy must fail
+        # loudly and symmetrically, not strand the non-root ranks in
+        # the announcement wait
+        raise KeyError(
+            f"no auto selection policy for collective {op!r}; "
+            f"auto-capable ops: {sorted(AUTO_CHOICES)}")
+    size = comm.size
+    params = comm.host.params
+    if size < 2:
+        return AUTO_CHOICES[op][0]
+    if op in ("reduce", "allreduce"):
+        # MPI requires size-matched contributions: local resolution is
+        # identical everywhere and costs nothing.
+        return auto_impl(op, payload_bytes(args[0]), size, params)
+    # Rooted (bcast, scatter) or rank-0-anchored (allgather): the rank
+    # that knows the payload announces the choice down the scout tree.
+    from ...core.scout import scout_scatter_binary
+
+    root = args[1] if op in ("bcast", "scatter") else 0
+    channel = comm.mcast
+    seq = channel.next_seq()
+    name = None
+    if comm.rank == root:
+        if op == "scatter":
+            objs = args[0]
+            nbytes = sum(payload_bytes(o) for o in objs) if objs else 0
+        else:
+            nbytes = payload_bytes(args[0])
+        name = auto_impl(op, nbytes, size, params)
+    name = yield from scout_scatter_binary(comm, channel, seq, root,
+                                           tag="impl-dec", value=name)
+    return name

@@ -10,7 +10,21 @@ is exactly a comparison of entries in this table:
   repair, :mod:`repro.core.segment`);
 * ``barrier``: ``"p2p-mpich"`` vs ``"mcast"``;
 * ``allgather``: ``"p2p-gather-bcast"`` vs ``"mcast-paced"`` /
-  ``"mcast-seg-paced"`` (segmented per-turn streaming).
+  ``"mcast-seg-paced"`` (segmented per-turn streaming);
+* ``reduce``: ``"p2p-binomial"`` vs ``"mcast-seg-combine"``
+  (NACK-repaired gather turns folded through :mod:`repro.mpi.ops`,
+  :mod:`repro.core.mcast_reduce`);
+* ``allreduce``: ``"p2p-reduce-bcast"`` vs ``"mcast-seg-nack"``
+  (mcast reduce composed with the segmented broadcast);
+* ``scatter``: ``"p2p-binomial"`` vs ``"mcast-seg-root"`` (the root
+  streams per-rank-addressed segments in one paced burst,
+  :mod:`repro.core.mcast_scatter`).
+
+:data:`DEFAULTS` is the *static* per-op table a fresh communicator
+starts from; the per-call policy layer
+(:mod:`repro.mpi.collective.policy`) supersedes it wherever an op is set
+to ``"auto"`` or a selection hook is installed with
+``comm.set_collective_policy``.
 """
 
 from __future__ import annotations

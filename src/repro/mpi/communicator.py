@@ -24,12 +24,12 @@ group address plus data/scout sockets, wrapped in a
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Generator, Optional, Sequence
 
 import numpy as np
 
 from ..simnet.host import Host
+from .collective.policy import AUTO, AUTO_CHOICES, resolve_auto
 from .collective.registry import DEFAULTS, get_impl
 from .datatypes import payload_bytes
 from .ops import Op
@@ -54,12 +54,16 @@ class Communicator:
         self.host: Host = self.endpoint.host
         self.sim = self.host.sim
         self._impls = dict(DEFAULTS)
+        self._policy = None
         self._mcast = None
         self._freed = False
         #: chronological (op, args-signature) log of collective calls on
         #: this communicator — the raw material for the paper's §4
         #: safety check (see RunResult.verify_safe_schedules)
         self.call_log: list[tuple] = []
+        #: chronological (op, resolved impl name) log — how the "auto"
+        #: policy layer's per-call choices are observed by tests/benches
+        self.impl_log: list[tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # identity
@@ -92,17 +96,47 @@ class Communicator:
     def use_collectives(self, **ops: str) -> "Communicator":
         """Select implementations, e.g. ``bcast="mcast-binary"``.
 
+        The pseudo-name ``"auto"`` defers the choice to the payload-aware
+        policy layer (:mod:`repro.mpi.collective.policy`), which resolves
+        the implementation per call from the payload size and the
+        process count.
+
         Returns self for chaining.  Raises KeyError for unknown names so
         misconfiguration fails loudly.
         """
         for op, name in ops.items():
-            get_impl(op, name)   # validate now
+            if name == AUTO:
+                if op not in AUTO_CHOICES:
+                    raise KeyError(
+                        f"no auto selection policy for collective "
+                        f"{op!r}; auto-capable ops: "
+                        f"{sorted(AUTO_CHOICES)}")
+            else:
+                get_impl(op, name)   # validate now
             self._impls[op] = name
         return self
 
+    def set_collective_policy(self, policy) -> "Communicator":
+        """Install a per-call selection hook replacing the static table.
+
+        ``policy(comm, op, name, args) -> impl name`` sees every
+        collective dispatch with the statically configured ``name`` and
+        the call's positional args; whatever registered name it returns
+        is dispatched (``"auto"`` falls through to the payload-aware
+        resolution).  ``None`` removes the hook.  Returns self.
+        """
+        self._policy = policy
+        return self
+
     def _dispatch(self, op: str, *args) -> Generator:
-        fn = get_impl(op, self._impls[op])
+        name = self._impls[op]
+        if self._policy is not None:
+            name = self._policy(self, op, name, args)
+        if name == AUTO:
+            name = yield from resolve_auto(self, op, args)
+        fn = get_impl(op, name)
         self.call_log.append((op, self.ctx, self._call_signature(op, args)))
+        self.impl_log.append((op, name))
         result = yield from fn(self, *args)
         return result
 
@@ -336,6 +370,7 @@ class Communicator:
         ctx = yield from self._dispatch("bcast", ctx, 0)
         new = Communicator(self.world, ctx, self.rank, self.ranks)
         new._impls = dict(self._impls)
+        new._policy = self._policy
         yield from new._setup()
         return new
 
@@ -360,6 +395,7 @@ class Communicator:
         ctx = base + colors.index(color)
         new = Communicator(self.world, ctx, my_new_rank, new_ranks)
         new._impls = dict(self._impls)
+        new._policy = self._policy
         yield from new._setup()
         return new
 

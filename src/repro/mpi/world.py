@@ -12,8 +12,6 @@ barrier over the simulated network.  DESIGN.md §7 records this deviation.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..simnet.topology import Cluster
 from .communicator import Communicator
 from .p2p import DEFAULT_EAGER_THRESHOLD, MpiEndpoint

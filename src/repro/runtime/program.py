@@ -25,7 +25,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..mpi.p2p import DEFAULT_EAGER_THRESHOLD

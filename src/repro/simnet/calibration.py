@@ -101,7 +101,16 @@ class NetParams:
     #: comfortably exceed the inter-segment arrival gap (wire
     #: serialization + per-segment receive software, ~200 µs at Fast
     #: Ethernet sizes) times the longest plausible run of lost segments.
+    #: Since PR 3 this is the *cap*: the round engine scales the actual
+    #: timeout to the round's expected serialization
+    #: (:func:`repro.core.rounds.round_drain_timeout_us`), so a
+    #: whole-round loss on a short round NACKs long before this.
     seg_drain_timeout_us: float = 2500.0
+    #: fixed floor of the adaptive drain timeout, covering the arming
+    #: skew between a leaf receiver (which starts its silence timer as
+    #: soon as its scout is away) and the root (which streams only after
+    #: the whole gather) plus scheduling jitter.
+    seg_drain_floor_us: float = 700.0
     #: root-side inter-datagram pacing of the segment stream (paper §5:
     #: a sender overrunning a receiver's descriptor budget).  ``0`` sends
     #: back-to-back; a float inserts that many µs between data datagrams;

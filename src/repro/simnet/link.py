@@ -11,7 +11,7 @@ the receiving device only sees a frame once the last bit is in).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable
 
 from .calibration import NetParams
 from .frame import Frame

@@ -25,7 +25,7 @@ from collections import deque
 from typing import Callable, Generator, Optional
 
 from .host import Host
-from .ip import Datagram, is_group_addr
+from .ip import Datagram
 from .kernel import Event, SimError
 
 __all__ = ["UdpSocket", "SocketClosed"]

@@ -22,7 +22,7 @@ ordering — against a real network stack.
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional
 
 from ..mpi.collective.barrier_p2p import largest_power_of_two_leq
 from ..mpi.collective.bcast_p2p import binomial_children, binomial_parent

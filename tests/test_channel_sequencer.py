@@ -1,9 +1,8 @@
 """Direct unit tests for McastChannel and the sequencer variant."""
 
-import pytest
 
 from repro.core.channel import (DATA_PORT_BASE, GROUP_ID_BASE,
-                                SCOUT_PORT_BASE, McastChannel)
+                                SCOUT_PORT_BASE)
 from repro.runtime import FixedSkew, run_spmd
 from repro.simnet import quiet
 from repro.simnet.calibration import FAST_ETHERNET_SWITCH

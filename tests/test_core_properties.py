@@ -14,7 +14,6 @@ These are the load-bearing guarantees of the reproduction:
    any size.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@
    Python reference for arbitrary colors and keys.
 """
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simnet.kernel import (AllOf, AnyOf, DeadlockError, Event,
+from repro.simnet.kernel import (AllOf, AnyOf, DeadlockError,
                                  Interrupt, SimError, Simulator)
 
 

@@ -1,7 +1,6 @@
 """Large payloads: rendezvous in collectives, multi-fragment multicast."""
 
 import numpy as np
-import pytest
 
 from repro.mpi import SUM
 from repro.runtime import run_spmd

@@ -1,0 +1,293 @@
+"""The reusable round engine: serve/follow contract, needed-subset and
+bystander followers, adaptive drain timeouts, repair re-batching, and
+the pacer unit behaviour."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import run_spmd
+from repro.core.rounds import (Reassembler, RoundPacer, follow_rounds,
+                               repair_batch, round_drain_timeout_us,
+                               round_namespace, serve_rounds)
+from repro.core.segment import (fragment, seg_nack_datagram_count)
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+AUTO = replace(QUIET, segment_bytes="auto")
+
+
+# ------------------------------------------------------------ namespace
+def test_round_namespace_shapes():
+    arm, tok = round_namespace()
+    assert arm(0) == ("seg-arm", 0) and tok(3) == 3
+    arm, tok = round_namespace("ag", 2)
+    assert arm(1) == ("seg-arm", "ag", 2, 1)
+    assert tok(1) == ("ag", 2, 1)
+    # distinct keys never collide
+    assert round_namespace("a")[0](0) != round_namespace("b")[0](0)
+
+
+# ------------------------------------------------- adaptive drain timeout
+def test_drain_timeout_is_capped_by_configured_timeout():
+    # a 33-datagram round exceeds the cap: behave exactly like PR 2
+    assert (round_drain_timeout_us(QUIET, 33, 1472)
+            == QUIET.seg_drain_timeout_us)
+
+
+def test_drain_timeout_shrinks_for_short_rounds():
+    one = round_drain_timeout_us(QUIET, 1, 1472)
+    assert QUIET.seg_drain_floor_us < one < QUIET.seg_drain_timeout_us
+    # the 12 kB auto case: one batched ~12 kB datagram, still below cap
+    batched = round_drain_timeout_us(AUTO, 1, 12_044)
+    assert batched < AUTO.seg_drain_timeout_us
+    # monotonic in round length
+    assert one <= round_drain_timeout_us(QUIET, 2, 1472)
+
+
+def test_drain_timeout_covers_the_pacing_gap():
+    paced = replace(QUIET, seg_pace_gap_us=500.0)
+    assert (round_drain_timeout_us(paced, 2, 1472)
+            >= round_drain_timeout_us(QUIET, 2, 1472) + 2 * 500.0
+            or round_drain_timeout_us(paced, 2, 1472)
+            == paced.seg_drain_timeout_us)
+    # "auto" gap resolves to the drain-estimate-derived gap
+    auto_gap = replace(QUIET, seg_pace_gap_us="auto")
+    assert (round_drain_timeout_us(auto_gap, 1, 1472)
+            > round_drain_timeout_us(QUIET, 1, 1472))
+
+
+def test_whole_round_loss_nacks_faster_than_fixed_timeout():
+    """The PR 2 follow-up: losing the *whole* round (one batched auto
+    datagram) used to pay the full fixed drain timeout before NACKing;
+    the adaptive timeout cuts the stall, so the same lossy broadcast
+    finishes measurably earlier."""
+    def drop_first_round():
+        seen = set()
+
+        def flt(dgram):
+            if dgram.kind != "mcast-seg":
+                return False
+            seq = dgram.payload[1]
+            if seq in seen:
+                return False
+            seen.add(seq)
+            return True
+
+        return flt
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = drop_first_round()
+        obj = bytes(12_000) if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return len(out)
+
+    adaptive = run_spmd(3, main, params=AUTO)
+    # forcing the floor to the cap reproduces the fixed-timeout behaviour
+    fixed = run_spmd(3, main, params=replace(
+        AUTO, seg_drain_floor_us=AUTO.seg_drain_timeout_us))
+    assert adaptive.returns == fixed.returns == [12_000] * 3
+    assert adaptive.stats["retransmissions"] >= 1
+    assert adaptive.sim_time_us < fixed.sim_time_us - 500.0
+
+
+# ------------------------------------------------------ repair re-batching
+def test_repair_batch_policy():
+    # fully-auto params: small repair plans pack into one datagram
+    assert repair_batch(AUTO, 3, 1) == 3
+    assert repair_batch(AUTO, AUTO.seg_auto_crossover, 1) == 10
+    # above the crossover: keep round 0's granularity
+    assert repair_batch(AUTO, 11, 1) == 1
+    # explicit settings pin the wire behaviour
+    assert repair_batch(QUIET, 3, 1) == 1
+    assert repair_batch(replace(AUTO, seg_batch=4), 3, 4) == 4
+
+
+def test_scattered_losses_repack_into_one_repair_datagram():
+    """48 kB auto (batch 1) with three scattered losses at one rank:
+    the repair round re-batches [3, 11, 19] into a single datagram —
+    one retransmission event, one descriptor, three frames."""
+    lost = {3, 11, 19}
+
+    def drop_once():
+        dropped = set()
+
+        def flt(dgram):
+            if dgram.kind != "mcast-seg":
+                return False
+            seg = dgram.payload[2]
+            segs = seg if isinstance(seg, tuple) else (seg,)
+            if len(segs) == 1 and segs[0].index in lost - dropped:
+                dropped.add(segs[0].index)
+                return True
+            return False
+
+        return flt
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        if env.rank == 1:
+            env.comm.mcast.data_sock.drop_filter = drop_once()
+        obj = bytes(48_000) if env.rank == 0 else None
+        out = yield from env.comm.bcast(obj, 0)
+        return out == bytes(48_000)
+
+    result = run_spmd(3, main, params=AUTO)
+    assert result.returns == [True] * 3
+    # ONE batched repair send carried all three lost segments...
+    assert result.stats["retransmissions"] == 1
+    # ...but still three single-frame segments on the wire
+    assert result.stats["frames_by_kind"]["mcast-seg"] == 33 + 3
+    wireup = result.stats["frames_by_kind"].get("p2p", 0)
+    assert (result.stats["datagrams_sent"] - wireup
+            == seg_nack_datagram_count(3, 33, batch=1, repairs=[3],
+                                       repair_batches=[3]))
+
+
+def test_seg_nack_datagram_count_repair_batches():
+    base = seg_nack_datagram_count(4, 33, batch=1, repairs=[5])
+    packed = seg_nack_datagram_count(4, 33, batch=1, repairs=[5],
+                                     repair_batches=[5])
+    assert base - packed == 4          # 5 repair datagrams became 1
+    with pytest.raises(ValueError):
+        seg_nack_datagram_count(4, 33, repairs=[5], repair_batches=[5, 1])
+
+
+# ------------------------------------------------- Reassembler subsets
+def test_reassembler_needed_subset():
+    segs = fragment(bytes(range(250)) * 2, 100)      # 5 segments
+    r = Reassembler(5, needed={1, 2})
+    assert r.missing() == {1, 2} and not r.complete
+    assert not r.add(segs[0])                        # not needed: ignored
+    assert r.add(segs[1]) and r.add(segs[2])
+    assert r.complete and r.missing() == set()
+    assert [s.index for s in r.segments()] == [1, 2]
+    assert b"".join(s.chunk for s in r.segments()) == bytes(segs[1].chunk
+                                                            + segs[2].chunk)
+    with pytest.raises(ValueError):
+        r.result()                                   # not the whole stream
+
+
+def test_reassembler_bystander_and_validation():
+    r = Reassembler(3, needed=set())
+    assert r.complete and r.missing() == set() and r.segments() == []
+    with pytest.raises(ValueError):
+        Reassembler(3, needed={5})
+    with pytest.raises(ValueError):
+        Reassembler(0)
+
+
+# ------------------------------------------------------ serve/follow raw
+def test_serve_follow_contract_with_subsets_and_bystander():
+    """The raw engine API: rank 0 serves a 10-segment stream; rank 1
+    follows it all, rank 2 follows only indices 0-4, rank 3 is a pure
+    bystander — and a loss at rank 1 is repaired without disturbing the
+    others."""
+    payload = bytes(range(256)) * 20                 # 5120 B
+    nsegs, batch = 10, 2
+
+    def drop_seg7_once():
+        state = {"done": False}
+
+        def flt(dgram):
+            if dgram.kind != "mcast-seg" or state["done"]:
+                return False
+            seg = dgram.payload[2]
+            segs = seg if isinstance(seg, tuple) else (seg,)
+            if any(s.index == 7 for s in segs):
+                state["done"] = True
+                return True
+            return False
+
+        return flt
+
+    def main(env):
+        comm = env.comm
+        channel = comm.mcast
+        seq = channel.next_seq()
+        arm, tok = round_namespace("raw", 0)
+        if env.rank == 0:
+            segs = fragment(payload, 512)
+            assert len(segs) == nsegs
+            yield from serve_rounds(comm, channel, seq, 0, segs, batch,
+                                    {1, 2, 3}, arm, tok)
+            return "served"
+        if env.rank == 1:
+            channel.data_sock.drop_filter = drop_seg7_once()
+            reasm = yield from follow_rounds(comm, channel, seq, 0,
+                                             nsegs, batch, arm, tok)
+            return reasm.result()
+        if env.rank == 2:
+            reasm = yield from follow_rounds(comm, channel, seq, 0,
+                                             nsegs, batch, arm, tok,
+                                             needed=set(range(5)))
+            return b"".join(s.chunk for s in reasm.segments())
+        reasm = yield from follow_rounds(comm, channel, seq, 0, nsegs,
+                                         batch, arm, tok, needed=set())
+        return ("bystander", reasm.segments(),
+                channel.data_sock.posted_high_water)
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns[0] == "served"
+    assert result.returns[1] == payload
+    assert result.returns[2] == payload[:2560]
+    kind, segs, high_water = result.returns[3]
+    assert kind == "bystander" and segs == []
+    assert high_water == 0                 # never posted a descriptor
+    # the batch holding segment 7 (one datagram of 2 segments) was the
+    # only repair
+    assert result.stats["retransmissions"] == 1
+
+
+def test_serve_follow_sequential_namespaces_do_not_cross_match():
+    """Two back-to-back engine streams on one channel, distinct
+    namespaces: control traffic of the first can never satisfy the
+    second."""
+    def main(env):
+        comm = env.comm
+        channel = comm.mcast
+        out = []
+        for k, payload in enumerate((b"a" * 1500, b"b" * 3000)):
+            seq = channel.next_seq()
+            arm, tok = round_namespace("multi", k)
+            if env.rank == 0:
+                segs = fragment(payload, 512)
+                yield from serve_rounds(comm, channel, seq, 0, segs, 1,
+                                        {1, 2}, arm, tok)
+                out.append(payload)
+            else:
+                nsegs = len(fragment(payload, 512))
+                reasm = yield from follow_rounds(comm, channel, seq, 0,
+                                                 nsegs, 1, arm, tok)
+                out.append(reasm.result())
+        return [o == e for o, e in zip(out, (b"a" * 1500, b"b" * 3000))]
+
+    result = run_spmd(3, main, params=QUIET)
+    assert result.returns == [[True, True]] * 3
+
+
+# ------------------------------------------------------------- the pacer
+def test_round_pacer_unit():
+    pacer = RoundPacer(QUIET, 1472)
+    assert pacer.gap_us == 0.0                      # unpaced by default
+    assert pacer.delay_before(5) == 0.0
+    pacer.note_budgets([None, 3, 7])                # feedback: ring of 3
+    assert pacer.burst == 3 and pacer.gap_us > 0
+    assert pacer.delay_before(2) == 0.0             # within the burst
+    assert pacer.delay_before(3) == pacer.gap_us
+    pacer.note_budgets([2])
+    assert pacer.burst == 2                         # shrinks, never grows
+    pacer.note_budgets([9])
+    assert pacer.burst == 2
+
+    auto = RoundPacer(replace(QUIET, seg_pace_gap_us="auto"), 1472)
+    drain = QUIET.seg_drain_estimate_us(1472)
+    assert auto.gap_us == pytest.approx(1.25 * drain + 10.0)
+    assert auto.delay_before(1) == auto.gap_us      # burst defaults to 1
+
+    no_fb = RoundPacer(replace(QUIET, seg_pace_feedback=False), 1472)
+    no_fb.note_budgets([2])
+    assert no_fb.burst == 2 and no_fb.gap_us == 0.0  # learns, won't pace

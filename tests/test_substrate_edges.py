@@ -1,6 +1,5 @@
 """Edge cases across the substrate: ipstack, host, world, jitter."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Wire-timeline tool and trace module tests."""
 
-import pytest
 
 from repro.bench.timeline import (WireEvent, ascii_timeline,
                                   kinds_in_order, record_timeline)
