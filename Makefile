@@ -18,7 +18,8 @@ test:
 smoke: test
 	REPRO_SEG_SMOKE=1 REPRO_BENCH_REPS=3 $(PY) -m pytest -q \
 		benchmarks/bench_segmented_bcast.py \
-		benchmarks/bench_segmented_reduce.py
+		benchmarks/bench_segmented_reduce.py \
+		benchmarks/bench_fabric_scaling.py
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -25,6 +25,10 @@ __all__ = [
     "model_mcast_bcast_frames", "mcast_bcast_total_frames",
     "model_p2p_tree_frames", "model_seg_reduce_frames",
     "model_seg_allreduce_frames", "model_seg_scatter_frames",
+    "expected_seg_repair_frames", "binomial_cross_edges",
+    "model_p2p_tree_trunk_frames", "model_seg_bcast_trunk_frames",
+    "model_seg_reduce_trunk_frames", "model_hier_bcast_frames",
+    "model_hier_reduce_frames",
 ]
 
 
@@ -139,3 +143,151 @@ def model_seg_scatter_frames(n: int, seg_counts) -> int:
     if n < 2:
         return 0
     return seg_nack_frame_count(n, sum(seg_counts))
+
+
+# ---------------------------------------------------------------------------
+# loss expectation (PR 4: fold NetParams.loss into the auto estimates)
+# ---------------------------------------------------------------------------
+def expected_seg_repair_frames(n: int, nsegs: int, loss: float,
+                               max_rounds: int = 8) -> float:
+    """Expected extra frames of one engine stream's NACK repair loop at
+    per-round data-frame loss probability ``loss``.
+
+    Repair round ``r`` re-multicasts about ``S * loss**r`` segments (the
+    survivors of round r-1's losses) and pays the per-round control
+    sweep — arming scouts, reports, decisions: ``3(N-1)`` frames.  The
+    sum runs while a round is still *expected* to happen (at least half
+    a segment outstanding), so a lossless stream costs nothing and a
+    10%-lossy 100-segment stream adds roughly one repair round of ~10
+    segments plus control.  This is the term the auto policy adds to
+    every segmented-multicast estimate; the p2p trees ride the
+    simulator's reliable unicast path and carry no such term.
+    """
+    if n < 2 or nsegs < 1 or loss <= 0.0:
+        return 0.0
+    loss = min(loss, 0.99)
+    extra = 0.0
+    expect = nsegs * loss
+    rounds = 0
+    while expect >= 0.5 and rounds < max_rounds:
+        extra += expect + 3 * (n - 1)
+        expect *= loss
+        rounds += 1
+    return extra
+
+
+# ---------------------------------------------------------------------------
+# tiered-fabric trunk accounting (PR 4: multi-segment topologies)
+# ---------------------------------------------------------------------------
+# The models below count *trunk serializations* — every time a frame is
+# re-serialized on a switch-to-switch link of a two-tier fabric
+# (``NetStats.frames_trunk``).  A multicast frame that must reach every
+# one of K occupied segments crosses K trunks (one up from the sender's
+# leaf, K-1 down); a unicast between different segments crosses 2.
+# One-time channel-setup IGMP traffic is excluded: these are per-call,
+# steady-state counts, and the benches compare snapshots around a single
+# collective.
+
+def binomial_cross_edges(seg_of_rank, root: int) -> int:
+    """Edges of the binomial gather/broadcast tree rooted at ``root``
+    whose endpoints sit in different segments (``seg_of_rank`` maps each
+    communicator rank to its segment id)."""
+    size = len(seg_of_rank)
+    cross = 0
+    for rel in range(1, size):
+        mask = 1
+        while not rel & mask:
+            mask <<= 1
+        parent_rel = rel & ~mask
+        child = (rel + root) % size
+        parent = (parent_rel + root) % size
+        if seg_of_rank[child] != seg_of_rank[parent]:
+            cross += 1
+    return cross
+
+
+def model_p2p_tree_trunk_frames(params: NetParams, seg_of_rank,
+                                root: int, m: int) -> int:
+    """Trunk serializations of a binomial tree moving an ``m``-byte
+    payload across every edge once (p2p bcast/reduce): each
+    cross-segment edge pays two trunk hops per payload frame."""
+    per_msg = params.frames_for(m + params.mpi_header)
+    return 2 * binomial_cross_edges(seg_of_rank, root) * per_msg
+
+
+def _mcast_stream_trunk_frames(seg_of_rank, root: int,
+                               nsegs: int) -> int:
+    """Trunk serializations of ONE loss-free engine stream (header +
+    ``nsegs`` data frames + one round of control) rooted at ``root`` on
+    a fabric: data crosses every occupied segment's trunk once, the two
+    scout gathers pay their cross edges, and each remote receiver's
+    report and decision pay a round trip."""
+    k = len(set(seg_of_rank))
+    if k <= 1:
+        return 0
+    remote = sum(1 for s in seg_of_rank if s != seg_of_rank[root])
+    cross = binomial_cross_edges(seg_of_rank, root)
+    return ((1 + nsegs) * k     # header + data, once per occupied segment
+            + 2 * (2 * cross)   # header-phase + arming scout gathers
+            + 2 * (2 * remote))  # reports + decisions, root round trips
+
+
+def model_seg_bcast_trunk_frames(seg_of_rank, root: int,
+                                 nsegs: int) -> int:
+    """Loss-free trunk serializations of the flat ``mcast-seg-nack``
+    broadcast on a tiered fabric (exact; asserted by
+    ``benchmarks/bench_fabric_scaling.py``)."""
+    return _mcast_stream_trunk_frames(seg_of_rank, root, nsegs)
+
+
+def model_seg_reduce_trunk_frames(seg_of_rank, root: int,
+                                  nsegs: int) -> int:
+    """Loss-free trunk serializations of the flat ``mcast-seg-combine``
+    reduce: one engine stream per non-root contributor, each rooted at
+    its turn's sender (every stream's data still crosses every occupied
+    trunk — all members joined the group)."""
+    size = len(seg_of_rank)
+    return sum(_mcast_stream_trunk_frames(seg_of_rank, turn, nsegs)
+               for turn in range(size) if turn != root)
+
+
+def _hier_phases(seg_sizes, root_seg: int):
+    """(intra-root-segment size, leader count, other segment sizes)."""
+    k = len(seg_sizes)
+    others = [sz for s, sz in enumerate(seg_sizes) if s != root_seg]
+    return seg_sizes[root_seg], k, others
+
+
+def model_hier_bcast_frames(seg_sizes, root_seg: int,
+                            nsegs: int) -> tuple[int, int]:
+    """Loss-free (host frames, trunk serializations) of the
+    ``hier-mcast`` broadcast: root's segment stream + the leaders'
+    stream + one stream per other segment.  Only the leaders' phase
+    touches the trunks: K leaders occupy K distinct segments, so its
+    data crosses K trunks per frame and its control is K-1 leader round
+    trips (exact; asserted by the fabric bench)."""
+    from ..core.segment import seg_nack_frame_count
+
+    root_sz, k, others = _hier_phases(seg_sizes, root_seg)
+    frames = (seg_nack_frame_count(root_sz, nsegs)
+              + seg_nack_frame_count(k, nsegs)
+              + sum(seg_nack_frame_count(sz, nsegs) for sz in others))
+    # leaders phase: one stream over K leaders, one per distinct segment
+    trunk = _mcast_stream_trunk_frames(tuple(range(k)), 0, nsegs)
+    return frames, trunk
+
+
+def model_hier_reduce_frames(seg_sizes, root_seg: int,
+                             nsegs: int) -> tuple[int, int]:
+    """Loss-free (host frames, trunk serializations) of the
+    ``hier-mcast`` reduce: per-segment reduces to the leaders, then a
+    leaders' reduce across the trunk (K-1 contributor streams, each
+    crossing every trunk)."""
+    root_sz, k, others = _hier_phases(seg_sizes, root_seg)
+    frames = (model_seg_reduce_frames(root_sz, nsegs)
+              + model_seg_reduce_frames(k, nsegs)
+              + sum(model_seg_reduce_frames(sz, nsegs) for sz in others))
+    # leaders phase: K-1 contributor streams over the K leaders
+    trunk = (k - 1) * _mcast_stream_trunk_frames(tuple(range(k)), 0,
+                                                 nsegs)
+    return frames, trunk

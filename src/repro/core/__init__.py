@@ -5,7 +5,8 @@ Importing this package registers the multicast implementations
 ``mcast-seg-nack`` for bcast; ``mcast`` for barrier; ``mcast-paced`` and
 ``mcast-seg-paced`` for allgather; ``mcast-seg-combine`` for reduce;
 ``mcast-seg-nack`` for allreduce; ``mcast-seg-root`` for scatter;
-``mcast-sequencer`` extension) in the collective registry, so any
+``mcast-seg-root-follow`` for gather; ``mcast-sequencer`` extension) in
+the collective registry, so any
 communicator can switch to them with
 ``comm.use_collectives(bcast="mcast-seg-nack", barrier="mcast")`` — or
 defer the choice per call to the payload-aware policy layer with
@@ -26,7 +27,9 @@ from .mcast_allgather import (allgather_mcast_paced,
 from .mcast_barrier import barrier_mcast, barrier_mcast_message_count
 from .mcast_bcast import (McastLost, bcast_mcast_ack, bcast_mcast_binary,
                           bcast_mcast_linear, bcast_mcast_naive)
-from .mcast_reduce import allreduce_mcast_seg_nack, reduce_mcast_seg_combine
+from .mcast_gather import gather_mcast_seg_root_follow
+from .mcast_reduce import (allreduce_mcast_seg_nack,
+                           reduce_mcast_seg_combine, stream_turns)
 from .mcast_scatter import scatter_mcast_seg_root
 from .ordering import (UnsafeScheduleError, check_safe_schedule,
                        run_bcast_sequence)
@@ -52,10 +55,11 @@ __all__ = [
     "bcast_mcast_binary", "bcast_mcast_linear", "bcast_mcast_naive",
     "bcast_mcast_seg_nack", "binary_tree_steps", "check_safe_schedule",
     "chunk_plan", "follow_rounds", "fragment", "frame_segment_bytes",
-    "plan_segments", "plan_transport", "reassemble",
-    "reduce_mcast_seg_combine", "repair_batch", "round_drain_timeout_us",
-    "round_namespace", "run_bcast_sequence", "scatter_mcast_seg_root",
-    "scout_count", "scout_gather_binary", "scout_gather_linear",
-    "scout_scatter_binary", "seg_nack_datagram_count",
-    "seg_nack_frame_count", "serve_rounds",
+    "gather_mcast_seg_root_follow", "plan_segments", "plan_transport",
+    "reassemble", "reduce_mcast_seg_combine", "repair_batch",
+    "round_drain_timeout_us", "round_namespace", "run_bcast_sequence",
+    "scatter_mcast_seg_root", "scout_count", "scout_gather_binary",
+    "scout_gather_linear", "scout_scatter_binary",
+    "seg_nack_datagram_count", "seg_nack_frame_count", "serve_rounds",
+    "stream_turns",
 ]

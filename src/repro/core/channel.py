@@ -61,16 +61,31 @@ SEG_HEADER_BYTES = 4
 
 
 class McastChannel:
-    """Multicast transport for one communicator, on one rank."""
+    """Multicast transport for one communicator, on one rank.
 
-    def __init__(self, comm):
+    ``comm`` may be a full :class:`~repro.mpi.communicator.Communicator`
+    or any *communicator view* exposing ``rank`` / ``size`` /
+    ``addr_of`` / ``host`` / ``sim`` (the hierarchical collectives bind
+    channels to segment-local views, see
+    :mod:`repro.mpi.collective.hier`).  The default group address and
+    ports derive from ``comm.ctx``; explicit ``group`` / ``data_port`` /
+    ``scout_port`` override them for channels that subdivide one
+    communicator (per-segment groups, the leaders' group).
+    """
+
+    def __init__(self, comm, group: Optional[int] = None,
+                 data_port: Optional[int] = None,
+                 scout_port: Optional[int] = None):
         self.comm = comm
         self.host = comm.host
         self.sim = comm.sim
         self.params = self.host.params
-        self.group = mcast_mac(GROUP_ID_BASE + comm.ctx)
-        self.data_port = DATA_PORT_BASE + comm.ctx
-        self.scout_port = SCOUT_PORT_BASE + comm.ctx
+        self.group = (mcast_mac(GROUP_ID_BASE + comm.ctx)
+                      if group is None else group)
+        self.data_port = (DATA_PORT_BASE + comm.ctx
+                          if data_port is None else data_port)
+        self.scout_port = (SCOUT_PORT_BASE + comm.ctx
+                           if scout_port is None else scout_port)
         self.data_sock = self.host.socket(self.data_port, posted_only=True,
                                           mcast_loop=False)
         self.scout_sock = self.host.socket(self.scout_port)

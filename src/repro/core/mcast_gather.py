@@ -1,0 +1,43 @@
+"""Gather over the segmented multicast round engine.
+
+``gather`` **"mcast-seg-root-follow"**: the shared turn loop of
+:func:`repro.core.mcast_reduce.stream_turns` with the root *collecting*
+instead of folding — every non-root rank serves its slice (one engine
+stream per contributor, in ascending rank order), the **root follows
+every stream** via the engine's ``needed``-subset follower (needing the
+whole stream), and ranks that are neither the turn's sender nor the
+root keep lockstep in **bystander mode** (``needed=set()``): they join
+every arming gather and obey every decision without posting a single
+descriptor.
+
+Like the segmented reduce, many-to-one traffic gains no frame-count
+advantage from multicast — each contribution is consumed at exactly one
+rank — so the payload frames match the p2p binomial gather while the
+engine supplies what the tree lacks: per-segment selective NACK repair
+under loss, descriptor-budget pacing, and adaptive drain timeouts.
+Select with ``comm.use_collectives(gather="mcast-seg-root-follow")``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..mpi.collective.registry import register
+from .mcast_reduce import stream_turns
+
+__all__ = ["gather_mcast_seg_root_follow"]
+
+
+@register("gather", "mcast-seg-root-follow")
+def gather_mcast_seg_root_follow(comm, obj: Any,
+                                 root: int = 0) -> Generator:
+    """Returns the rank-ordered list at ``root``; ``None`` elsewhere."""
+    if comm.size == 1:
+        return [obj]
+    out: list[Any] = [None] * comm.size
+
+    def collect(turn: int, value: Any) -> None:
+        out[turn] = value
+
+    yield from stream_turns(comm, obj, root, "gat", collect)
+    return out if comm.rank == root else None

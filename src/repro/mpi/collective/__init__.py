@@ -10,12 +10,15 @@ multicast implementations in :mod:`repro.core` register under
 
 from .registry import REGISTRY, get_impl, register, DEFAULTS
 
-# Importing the modules registers the p2p baselines.
+# Importing the modules registers the p2p baselines (and the
+# topology-aware hierarchical family, which lives beside the policy
+# layer it cooperates with).
 from . import bcast_p2p      # noqa: F401  (registration side effect)
 from . import barrier_p2p    # noqa: F401
 from . import reduce_p2p     # noqa: F401
 from . import gather_p2p     # noqa: F401
 from . import alltoall_p2p   # noqa: F401
 from . import extras         # noqa: F401
+from . import hier           # noqa: F401  (registers hier-mcast)
 
 __all__ = ["REGISTRY", "get_impl", "register", "DEFAULTS"]

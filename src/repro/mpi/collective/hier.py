@@ -1,0 +1,371 @@
+"""Hierarchical multicast collectives for tiered fabrics — ``hier-mcast``.
+
+On a multi-segment fabric (:mod:`repro.simnet.fabric`) the flat
+segmented-multicast collectives pay the trunk for *every* control
+message: each NACK report, decision, and arming scout of every rank in a
+remote segment crosses the backbone twice.  Following Karonis &
+de Supinski's multilevel topology-aware collectives (MPICH-G2) and
+Träff's multi-lane decomposition, this module re-expresses each
+collective as **per-segment phases bridged by segment leaders**:
+
+* **discovery** — every rank asks the cluster's topology API
+  (:meth:`~repro.simnet.topology.Cluster.segment_of` via
+  ``comm.world.cluster``) for the segment of each communicator rank.
+  The mapping is identical everywhere, so leader election is local and
+  free: the leader of a segment is its smallest communicator rank;
+* **per-segment channels** — each segment's members share a private
+  :class:`~repro.core.channel.McastChannel` on a segment-scoped
+  multicast group, and the leaders share one more ("the leaders'
+  group").  IGMP snooping confines a segment group's frames to its own
+  leaf switch, and leaders'-group frames cross each trunk exactly once;
+* **engine reuse** — intra-segment and leader phases run the *existing*
+  collectives (:func:`~repro.core.segment.bcast_mcast_seg_nack`,
+  :func:`~repro.core.mcast_reduce.reduce_mcast_seg_combine`,
+  :func:`~repro.core.mcast_barrier.barrier_mcast`) over a
+  :class:`SegmentComm` — a segment-local *view* of the communicator
+  that renumbers member ranks densely and carries its own channel, so
+  the round engine (serve/follow, NACK repair, pacing) needs no changes
+  and repairs for a loss inside a segment never touch a trunk.
+
+Registered as ``"hier-mcast"`` for ``bcast`` / ``reduce`` /
+``allreduce`` / ``barrier``.  On a flat cluster (or a communicator whose
+members all share one segment) every entry degrades to its flat
+segmented counterpart, so ``hier-mcast`` is always safe to select; the
+payload- and topology-aware auto policy
+(:mod:`repro.mpi.collective.policy`) picks it per call whenever the
+modeled frame count — trunk crossings and expected loss repairs
+included — beats the flat engine and the p2p trees.
+
+**Reduction order.**  The hierarchical reduce folds each segment in
+ascending rank order and then folds segment partials in ascending
+leader-rank order — exactly MPI's canonical order whenever segments
+partition the communicator into contiguous rank blocks (the natural
+layout of ``run_spmd`` on a ``tree:SxH`` cluster).  For non-contiguous
+layouts the grouping would reorder operands, so non-commutative
+operators fall back to the flat (canonical-order) segmented reduce.
+
+Dispatch safety (paper §4): all phases derive from rank-invariant state
+(topology, communicator membership), every rank enters the same phases
+of the same channels in the same order, and the per-call "auto" choice
+is announced down the scout tree before any traffic — all ranks dispatch
+identically.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Generator, Optional
+
+from .registry import register
+from .tags import TAG_HIER
+
+__all__ = ["SegmentComm", "HierState", "layout_from_segments",
+           "segment_layout", "hier_state", "hier_ready", "bcast_hier",
+           "reduce_hier", "allreduce_hier", "barrier_hier",
+           "HIER_GROUP_BASE", "HIER_PORT_BASE", "MAX_HIER_SEGMENTS"]
+
+#: group-id space for hierarchical sub-channels, above the
+#: per-communicator ids at :data:`repro.core.channel.GROUP_ID_BASE`
+HIER_GROUP_BASE = 1 << 17
+
+#: UDP port space for hierarchical sub-channels (4 ports per ctx:
+#: segment data/scout, leaders data/scout), clear of the per-ctx bases
+#: at 20000/40000 and the 49152+ ephemeral range
+HIER_PORT_BASE = 60000
+
+#: segments one communicator may span (bounds the per-ctx group-id slab)
+MAX_HIER_SEGMENTS = 64
+
+
+class SegmentComm:
+    """A segment-local *view* of a communicator.
+
+    Renumbers ``members`` (a sorted subset of the parent's ranks) to
+    dense local ranks 0..k-1 and exposes exactly the surface the round
+    engine and the flat multicast collectives need (``rank`` / ``size``
+    / ``addr_of`` / ``host`` / ``sim`` / ``mcast``), with its own
+    :class:`~repro.core.channel.McastChannel` on a private group.  The
+    channel's sequence numbers advance per-view, so phases on different
+    segments never cross-match.
+    """
+
+    def __init__(self, comm, members: list[int], group: int,
+                 data_port: int, scout_port: int):
+        from ...core.channel import McastChannel  # avoid import cycle
+
+        if members != sorted(members):
+            raise ValueError(f"segment members must be sorted, got "
+                             f"{members}")
+        self.parent = comm
+        self.members = list(members)
+        self.rank = self.members.index(comm.rank)
+        self.ranks = [comm.addr_of(r) for r in self.members]
+        self.host = comm.host
+        self.sim = comm.sim
+        self.mcast = McastChannel(self, group=group, data_port=data_port,
+                                  scout_port=scout_port)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def addr_of(self, rank: int) -> int:
+        return self.ranks[rank]
+
+    def close(self) -> None:
+        self.mcast.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SegmentComm rank={self.rank}/{self.size} "
+                f"of ctx={self.parent.ctx}>")
+
+
+def layout_from_segments(raw):
+    """Pure core of :func:`segment_layout`: from a per-rank segment-id
+    list, compute ``(seg_of_rank, members, leaders, contiguous)`` with
+    dense segment indices, ascending member lists, min-rank leaders,
+    and the contiguous-blocks flag (true iff folding segments in leader
+    order preserves MPI's canonical operand order)."""
+    size = len(raw)
+    segs = sorted(set(raw))
+    seg_of_rank = tuple(segs.index(s) for s in raw)
+    members = [[r for r in range(size) if seg_of_rank[r] == k]
+               for k in range(len(segs))]
+    leaders = [m[0] for m in members]
+    concat: list[int] = []
+    for k in sorted(range(len(segs)), key=lambda k: leaders[k]):
+        concat.extend(members[k])
+    contiguous = concat == list(range(size))
+    return seg_of_rank, members, leaders, contiguous
+
+
+def segment_layout(comm):
+    """The rank-invariant hierarchy of one communicator, from the
+    cluster's discovery API (see :func:`layout_from_segments` for the
+    returned tuple).
+
+    Single source of truth shared by :class:`HierState` (the execution
+    side) and the auto policy's
+    :func:`~repro.mpi.collective.policy.comm_topology` (the modelling
+    side) — the policy's hier-withholding gate and the reduce's
+    fallback condition must agree bit-for-bit or auto would select an
+    implementation whose model assumes the other path.
+    """
+    cluster = comm.world.cluster
+    return layout_from_segments(
+        [cluster.segment_of(comm.addr_of(r)) for r in range(comm.size)])
+
+
+class HierState:
+    """Cached per-communicator hierarchy: segment map, leaders, channels.
+
+    Built lazily on the first ``hier-mcast`` dispatch (every rank builds
+    it at the same collective, so group joins pair up) and owned by the
+    communicator — :meth:`repro.mpi.communicator.Communicator.free`
+    closes the sub-channels, emitting the IGMP leaves that shrink the
+    switches' snooped member sets.
+    """
+
+    def __init__(self, comm):
+        from ...simnet.frame import mcast_mac
+
+        layout = segment_layout(comm)
+        #: dense segment index of every communicator rank
+        self.seg_of_rank = list(layout[0])
+        #: member ranks per dense segment, ascending
+        self.members = layout[1]
+        #: leader (smallest member rank) per dense segment
+        self.leaders = layout[2]
+        #: contiguous rank blocks — hierarchical folding is canonical
+        self.contiguous = layout[3]
+        self.nsegments = len(self.members)
+        if self.nsegments > MAX_HIER_SEGMENTS:
+            raise ValueError(
+                f"communicator spans {self.nsegments} segments; "
+                f"hier-mcast supports at most {MAX_HIER_SEGMENTS}")
+        self.my_seg = self.seg_of_rank[comm.rank]
+        self.is_leader = comm.rank == self.leaders[self.my_seg]
+        #: leaders in ascending rank order — the leaders' phase folds and
+        #: announces in this order
+        self.lead_members = sorted(self.leaders)
+
+        #: whether the one-time post-creation p2p barrier has run (see
+        #: :func:`hier_ready`); trivially true with no sub-channels
+        self.synced = self.nsegments <= 1
+        self.seg_comm: Optional[SegmentComm] = None
+        self.lead_comm: Optional[SegmentComm] = None
+        if self.nsegments > 1:
+            base_group = HIER_GROUP_BASE + comm.ctx * (MAX_HIER_SEGMENTS + 1)
+            base_port = HIER_PORT_BASE + 4 * comm.ctx
+            self.seg_comm = SegmentComm(
+                comm, self.members[self.my_seg],
+                group=mcast_mac(base_group + 1 + self.my_seg),
+                data_port=base_port, scout_port=base_port + 1)
+            if self.is_leader:
+                self.lead_comm = SegmentComm(
+                    comm, self.lead_members, group=mcast_mac(base_group),
+                    data_port=base_port + 2, scout_port=base_port + 3)
+
+    def close(self) -> None:
+        if self.seg_comm is not None:
+            self.seg_comm.close()
+            self.seg_comm = None
+        if self.lead_comm is not None:
+            self.lead_comm.close()
+            self.lead_comm = None
+
+
+def hier_state(comm) -> HierState:
+    """The communicator's cached :class:`HierState` (built on first use
+    by :func:`hier_ready` — prefer that inside collectives)."""
+    if comm._hier is None:
+        comm._hier = HierState(comm)
+    return comm._hier
+
+
+def hier_ready(comm) -> Generator:
+    """Build-and-synchronize accessor used by the collectives.
+
+    The sub-channels are created lazily on the first ``hier-mcast``
+    dispatch — a *collective* moment, so every rank builds them during
+    the same call.  Creation alone is not enough, though: a rank that
+    enters its first phase early could unicast a scout toward a peer
+    that has not yet opened its (buffered) scout socket, and the
+    datagram would die as ``drops_no_listener``.  Mirroring
+    ``Communicator._setup``, the building call therefore runs one p2p
+    barrier after creation — afterwards every member's sockets exist
+    and every IGMP join has been snooped along its uplink (FIFO per
+    link), so phases may race freely.
+    """
+    st = hier_state(comm)
+    if not st.synced:
+        # Explicit flag, not "did this call build the state": a rank
+        # that merely inspected hier_state() early (the discovery API)
+        # must still join — and must not skip — the group's one
+        # synchronization.  Every rank reaches its first hier-mcast
+        # dispatch with synced=False, so the barrier is collective.
+        from .barrier_p2p import barrier_mpich
+
+        yield from barrier_mpich(comm)
+        st.synced = True
+    return st
+
+
+# ----------------------------------------------------------------------
+# the collectives
+# ----------------------------------------------------------------------
+@register("bcast", "hier-mcast")
+def bcast_hier(comm, obj: Any, root: int = 0) -> Generator:
+    """Three-phase hierarchical broadcast.
+
+    1. the root streams to its own segment (segment group, round
+       engine);
+    2. the root's segment leader streams to the other leaders (leaders'
+       group — each trunk carries each payload frame once, and only the
+       per-*leader* control, not per-rank);
+    3. every other leader streams to its segment (segment groups, in
+       parallel — repairs stay inside the losing segment).
+    """
+    from ...core.segment import bcast_mcast_seg_nack
+
+    st = yield from hier_ready(comm)
+    if st.nsegments == 1:
+        result = yield from bcast_mcast_seg_nack(comm, obj, root)
+        return result
+    root_seg = st.seg_of_rank[root]
+    if st.my_seg == root_seg and st.seg_comm.size > 1:
+        local_root = st.members[root_seg].index(root)
+        obj = yield from bcast_mcast_seg_nack(st.seg_comm, obj,
+                                              local_root)
+    if st.is_leader:
+        lead_root = st.lead_members.index(st.leaders[root_seg])
+        obj = yield from bcast_mcast_seg_nack(st.lead_comm, obj,
+                                              lead_root)
+    if st.my_seg != root_seg and st.seg_comm.size > 1:
+        # the segment leader is its smallest member = local rank 0
+        obj = yield from bcast_mcast_seg_nack(st.seg_comm, obj, 0)
+    return obj
+
+
+@register("reduce", "hier-mcast")
+def reduce_hier(comm, obj: Any, op, root: int = 0) -> Generator:
+    """Hierarchical reduce: segments fold to their leaders, leaders fold
+    across the trunk, the root's leader forwards to the root.
+
+    Folding order is canonical (ascending absolute rank) whenever the
+    segments are contiguous rank blocks; otherwise non-commutative
+    operators take the flat segmented reduce (see module docstring).
+    Returns the reduction at ``root``; ``None`` elsewhere.
+    """
+    from ...core.mcast_reduce import reduce_mcast_seg_combine
+
+    st = yield from hier_ready(comm)
+    if st.nsegments == 1 or (not st.contiguous
+                             and not getattr(op, "commutative", True)):
+        result = yield from reduce_mcast_seg_combine(comm, obj, op, root)
+        return result
+    # phase 1: intra-segment reduce to the leader (local rank 0)
+    partial = copy.copy(obj)
+    if st.seg_comm.size > 1:
+        partial = yield from reduce_mcast_seg_combine(st.seg_comm, obj,
+                                                      op, 0)
+    # phase 2: leaders reduce the partials; rooted at the root's leader
+    root_leader = st.leaders[st.seg_of_rank[root]]
+    result = None
+    if st.is_leader:
+        lead_root = st.lead_members.index(root_leader)
+        result = yield from reduce_mcast_seg_combine(
+            st.lead_comm, partial, op, lead_root)
+    # phase 3: hand the result to the root if it is not its own leader
+    if root_leader != root:
+        if comm.rank == root_leader:
+            yield from comm._send_coll(result, root, TAG_HIER)
+            result = None
+        elif comm.rank == root:
+            result = yield from comm._recv_coll(root_leader, TAG_HIER)
+    return result if comm.rank == root else None
+
+
+@register("allreduce", "hier-mcast")
+def allreduce_hier(comm, obj: Any, op) -> Generator:
+    """Hierarchical allreduce: hier reduce to rank 0 (the leader of its
+    segment by construction), then hier broadcast of the result."""
+    result = yield from reduce_hier(comm, obj, op, 0)
+    result = yield from bcast_hier(comm, result, 0)
+    return result
+
+
+@register("barrier", "hier-mcast")
+def barrier_hier(comm) -> Generator:
+    """Hierarchical barrier: segments gather scouts to their leaders,
+    leaders run the multicast barrier over the trunk, then each leader
+    releases its segment with one data-less multicast."""
+    from ...core.mcast_barrier import barrier_mcast
+    from ...core.scout import scout_gather_binary
+
+    st = yield from hier_ready(comm)
+    if st.nsegments == 1:
+        yield from barrier_mcast(comm)
+        return None
+    segc = st.seg_comm
+    channel = segc.mcast
+    seq = channel.next_seq()
+    posted = None
+    if segc.size > 1:
+        if segc.rank != 0:
+            # post the release receive BEFORE scouting up (the paper's
+            # readiness invariant, same as the flat barrier)
+            posted = channel.post_data()
+        yield from scout_gather_binary(segc, channel, seq, 0)
+    if st.is_leader:
+        yield from barrier_mcast(st.lead_comm)
+    if segc.size > 1:
+        if segc.rank == 0:
+            yield from channel.send_data(None, 0, seq, control=True)
+        else:
+            src, got_seq, _ = yield from channel.wait_data(posted)
+            if got_seq != seq or src != 0:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"rank {comm.rank} got stale hierarchical barrier "
+                    f"release (seq {got_seq} != {seq})")
+    return None

@@ -1,52 +1,70 @@
-"""Payload-aware collective implementation selection — the ``"auto"`` layer.
+"""Payload-, topology- and loss-aware collective selection — ``"auto"``.
 
 The registry's static :data:`~repro.mpi.collective.registry.DEFAULTS`
 table answers "which algorithm?" once per communicator; real MPI
-libraries answer it **per call**, from the message size and the process
-count (MPICH's size-thresholded algorithm tables; the topology-aware
-multilevel selection of Karonis & de Supinski).  This module is that
-policy layer:
+libraries answer it **per call**, from the message size, the process
+count, and the machine (MPICH's size-thresholded algorithm tables; the
+topology-aware multilevel selection of Karonis & de Supinski).  This
+module is that policy layer:
 
 * ``comm.use_collectives(bcast="auto")`` marks an op for per-call
-  resolution; :func:`resolve_auto` then picks between the op's p2p
-  baseline and its segmented-multicast implementation
-  (:data:`AUTO_CHOICES`) each time the collective is invoked;
+  resolution; :func:`resolve_auto` then picks among the op's p2p
+  baseline, its flat segmented-multicast implementation
+  (:data:`AUTO_CHOICES`), and — on a multi-segment fabric — the
+  hierarchical ``hier-mcast`` family (:data:`HIER_AUTO`,
+  :mod:`repro.mpi.collective.hier`) each time the collective is invoked;
 * :meth:`~repro.mpi.communicator.Communicator.set_collective_policy`
   installs a *hook* that replaces the static table wholesale — it sees
   every dispatch and may return any registered name (or ``"auto"`` to
   fall through to the payload-aware resolution).
 
-The decision metric is the paper's §3 currency: **closed-form Ethernet
-frame counts** (:func:`p2p_frame_estimate` / :func:`seg_frame_estimate`),
-built from the calibration constants (``frames_for``, ``mpi_header``)
-and the segmented transport's formulas (``plan_transport``,
-``seg_nack_frame_count``).  Small payloads keep the p2p trees (the
-multicast scout/report/decision control tax dominates); large payloads
-switch to the segmented streams (one copy of the payload on the wire
-instead of per-edge copies).  ``reduce`` is the documented exception:
-many-to-one traffic gains no frame advantage from multicast at any
-size, so auto keeps the binomial tree and the segmented reduce exists
-for lossy-transport scenarios and as the allreduce building block.
+The decision metric generalizes the paper's §3 currency: **modeled
+serializations** — closed-form Ethernet frame counts
+(:func:`p2p_frame_estimate` / :func:`seg_frame_estimate`), plus
+
+* **trunk crossings** on a tiered fabric (:func:`comm_topology` reads
+  the cluster's discovery API; each crossing re-serializes the frame on
+  a shared switch-to-switch link, the models live in
+  :mod:`repro.analysis.framecount`), and
+* **expected NACK-repair traffic** from the platform's calibrated
+  multicast loss rate (``NetParams.loss``,
+  :func:`~repro.analysis.framecount.expected_seg_repair_frames`) —
+  lossy platforms shift the crossover back toward the p2p trees and
+  toward the hierarchical variants whose repairs stay off the trunks.
+
+Small payloads keep the p2p trees (the multicast
+scout/report/decision control tax dominates); large payloads switch to
+the segmented streams; multi-segment fabrics switch to ``hier-mcast``
+when the trunk savings beat the extra per-segment phases.  ``reduce``
+remains the documented exception on flat clusters: many-to-one traffic
+gains no frame advantage from multicast at any size, so auto keeps the
+binomial tree there and the segmented reduce exists for lossy-transport
+scenarios and as the allreduce building block.
 
 **Consistency.**  Every rank must dispatch the same implementation or
-the collective deadlocks (paper §4 safety).  For ops whose payload every
-rank holds (``reduce``, ``allreduce`` — MPI requires identical sizes),
-resolution is local and free.  For rooted ops (``bcast``, ``scatter``)
-only the root knows the payload, so it announces its choice down the
-binomial scout tree (:func:`~repro.core.scout.scout_scatter_binary`) —
-``N-1`` scout-sized frames, ``log2 N`` deep, independent of the payload.
-``allgather`` anchors the announcement at rank 0 so heterogeneous
-contribution sizes can never split the group's decision.
+the collective deadlocks (paper §4 safety).  Topology and loss inputs
+are rank-invariant (the shared cluster object and ``NetParams``), so
+they never break the existing protocol: for ops whose payload every
+rank holds (``reduce``, ``allreduce``) resolution stays local and free;
+for rooted ops (``bcast``, ``scatter``) the root announces its choice
+down the binomial scout tree
+(:func:`~repro.core.scout.scout_scatter_binary`) — ``N-1`` scout-sized
+frames, ``log2 N`` deep, independent of the payload.  ``allgather``
+anchors the announcement at rank 0 so heterogeneous contribution sizes
+can never split the group's decision.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from dataclasses import dataclass
+from typing import Generator, Optional
 
 from ..datatypes import payload_bytes
 
-__all__ = ["AUTO", "AUTO_CHOICES", "auto_impl", "p2p_frame_estimate",
-           "seg_frame_estimate", "resolve_auto"]
+__all__ = ["AUTO", "AUTO_CHOICES", "HIER_AUTO", "TopoInfo",
+           "comm_topology", "auto_impl", "modeled_frame_costs",
+           "p2p_frame_estimate", "seg_frame_estimate",
+           "hier_frame_estimate", "resolve_auto"]
 
 #: the pseudo-implementation name accepted by ``use_collectives``
 AUTO = "auto"
@@ -60,6 +78,62 @@ AUTO_CHOICES: dict[str, tuple[str, str]] = {
     "allgather": ("p2p-gather-bcast", "mcast-seg-paced"),
 }
 
+#: ops with a hierarchical candidate on multi-segment fabrics
+HIER_AUTO: dict[str, str] = {
+    "bcast": "hier-mcast",
+    "reduce": "hier-mcast",
+    "allreduce": "hier-mcast",
+}
+
+
+@dataclass(frozen=True)
+class TopoInfo:
+    """Rank-invariant fabric shape of one communicator.
+
+    ``seg_of_rank`` maps every communicator rank to a dense segment
+    index; ``contiguous`` records whether the segments partition the
+    ranks into contiguous blocks (the layout under which hierarchical
+    reduction preserves MPI's canonical operand order — see
+    :mod:`repro.mpi.collective.hier`).
+    """
+
+    seg_of_rank: tuple[int, ...]
+    contiguous: bool
+
+    @property
+    def nsegments(self) -> int:
+        return len(set(self.seg_of_rank))
+
+    @property
+    def seg_sizes(self) -> tuple[int, ...]:
+        sizes = [0] * self.nsegments
+        for s in self.seg_of_rank:
+            sizes[s] += 1
+        return tuple(sizes)
+
+
+def comm_topology(comm) -> Optional[TopoInfo]:
+    """The communicator's :class:`TopoInfo`, or ``None`` when every
+    member shares one switch segment (flat cluster, or a
+    sub-communicator confined to one leaf).
+
+    Derives from the same :func:`~repro.mpi.collective.hier.
+    segment_layout` the ``hier-mcast`` implementations execute against,
+    so the policy's model and the impl's behaviour cannot drift; the
+    (static) answer is cached on the communicator.
+    """
+    if comm._topo_info is not False:
+        return comm._topo_info
+    info = None
+    if comm.world.cluster.nsegments > 1:
+        from .hier import segment_layout
+
+        dense, _members, _leaders, contiguous = segment_layout(comm)
+        if len(set(dense)) > 1:
+            info = TopoInfo(seg_of_rank=dense, contiguous=contiguous)
+    comm._topo_info = info
+    return info
+
 
 def _p2p_msg_frames(params, nbytes: int) -> int:
     """Frames of one p2p message (payload + MPI envelope)."""
@@ -71,22 +145,41 @@ def _steps(size: int) -> int:
     return max(1, (size - 1).bit_length())
 
 
-def p2p_frame_estimate(op: str, nbytes: int, size: int, params) -> int:
-    """Closed-form frame count of the op's p2p baseline.
+def p2p_frame_estimate(op: str, nbytes: int, size: int, params,
+                       topo: Optional[TopoInfo] = None,
+                       root: int = 0) -> float:
+    """Modeled serializations of the op's p2p baseline.
 
     ``nbytes`` is the op's natural payload: the broadcast/reduce
     message, the scatter's *total* sequence, the allgather's per-rank
-    contribution.
+    contribution.  With ``topo``, cross-segment tree edges additionally
+    pay their trunk crossings (bcast/reduce/allreduce only — the ops
+    with a hierarchical competitor).
+
+    Known approximation: a *non-commutative* reduce at a nonzero root
+    pays one extra payload forward (the tree reduces to rank 0 and
+    forwards, see :mod:`repro.mpi.collective.reduce_p2p`) that is not
+    modeled here — second-order near the crossover, and the policy has
+    no commutativity input at estimate level.
     """
-    from ...analysis.framecount import model_p2p_tree_frames
+    from ...analysis.framecount import (model_p2p_tree_frames,
+                                        model_p2p_tree_trunk_frames)
 
     if size < 2:
         return 0
     if op in ("bcast", "reduce"):
         # every tree edge carries the whole payload once
-        return model_p2p_tree_frames(params, size, nbytes)
+        total = model_p2p_tree_frames(params, size, nbytes)
+        if topo is not None:
+            total += model_p2p_tree_trunk_frames(
+                params, topo.seg_of_rank, root, nbytes)
+        return total
     if op == "allreduce":
-        return 2 * model_p2p_tree_frames(params, size, nbytes)
+        total = 2 * model_p2p_tree_frames(params, size, nbytes)
+        if topo is not None:
+            total += 2 * model_p2p_tree_trunk_frames(
+                params, topo.seg_of_rank, 0, nbytes)
+        return total
     if op == "scatter":
         # level i has 2^(i-1) edges, each forwarding a subtree share of
         # ~nbytes/2^i (exact for power-of-two sizes, close otherwise)
@@ -103,39 +196,143 @@ def p2p_frame_estimate(op: str, nbytes: int, size: int, params) -> int:
     raise KeyError(f"no p2p frame estimate for collective {op!r}")
 
 
-def seg_frame_estimate(op: str, nbytes: int, size: int, params) -> int:
-    """Closed-form frame count of the op's segmented-multicast impl
-    (delegating to the shared models in
-    :mod:`repro.analysis.framecount`, the same closed forms the benches
-    assert against the simulator)."""
-    from ...analysis.framecount import (model_seg_allreduce_frames,
+def seg_frame_estimate(op: str, nbytes: int, size: int, params,
+                       topo: Optional[TopoInfo] = None,
+                       root: int = 0) -> float:
+    """Modeled serializations of the op's flat segmented-multicast impl:
+    the shared loss-free closed forms of
+    :mod:`repro.analysis.framecount` (the same ones the benches assert
+    against the simulator), plus the expected repair traffic at
+    ``params.loss`` and — with ``topo`` — the trunk crossings of every
+    stream (bcast/reduce/allreduce)."""
+    from ...analysis.framecount import (expected_seg_repair_frames,
+                                        model_seg_allreduce_frames,
+                                        model_seg_bcast_trunk_frames,
                                         model_seg_reduce_frames,
+                                        model_seg_reduce_trunk_frames,
                                         model_seg_scatter_frames)
     from ...core.segment import plan_transport, seg_nack_frame_count
 
     if size < 2:
         return 0
     nsegs = plan_transport(nbytes, params).nsegs
+    loss = getattr(params, "loss", 0.0)
     if op == "bcast":
-        return seg_nack_frame_count(size, nsegs)
+        total = (seg_nack_frame_count(size, nsegs)
+                 + expected_seg_repair_frames(size, nsegs, loss))
+        if topo is not None:
+            total += model_seg_bcast_trunk_frames(topo.seg_of_rank, root,
+                                                  nsegs)
+        return total
     if op == "reduce":
         # one engine stream per non-root contributor
-        return model_seg_reduce_frames(size, nsegs)
+        total = (model_seg_reduce_frames(size, nsegs)
+                 + (size - 1) * expected_seg_repair_frames(size, nsegs,
+                                                           loss))
+        if topo is not None:
+            total += model_seg_reduce_trunk_frames(topo.seg_of_rank,
+                                                   root, nsegs)
+        return total
     if op == "allreduce":
-        return model_seg_allreduce_frames(size, nsegs)
+        total = (model_seg_allreduce_frames(size, nsegs)
+                 + size * expected_seg_repair_frames(size, nsegs, loss))
+        if topo is not None:
+            total += (model_seg_reduce_trunk_frames(topo.seg_of_rank, 0,
+                                                    nsegs)
+                      + model_seg_bcast_trunk_frames(topo.seg_of_rank,
+                                                     0, nsegs))
+        return total
     if op == "scatter":
         # one global stream of every non-root rank's share
         share = plan_transport(-(-nbytes // size), params).nsegs
-        return model_seg_scatter_frames(size, [share] * (size - 1))
+        total_segs = (size - 1) * share
+        return (model_seg_scatter_frames(size, [share] * (size - 1))
+                + expected_seg_repair_frames(size, total_segs, loss))
     if op == "allgather":
         # paced ready round + one engine stream per rank
-        return 2 * (size - 1) + size * seg_nack_frame_count(size, nsegs)
+        return (2 * (size - 1) + size * seg_nack_frame_count(size, nsegs)
+                + size * expected_seg_repair_frames(size, nsegs, loss))
     raise KeyError(f"no segmented frame estimate for collective {op!r}")
 
 
-def auto_impl(op: str, nbytes: int, size: int, params) -> str:
-    """Pick the implementation for one call: the segmented multicast
-    entry iff its frame estimate is at or below the p2p baseline's."""
+def hier_frame_estimate(op: str, nbytes: int, size: int, params,
+                        topo: TopoInfo, root: int = 0) -> float:
+    """Modeled serializations of the ``hier-mcast`` implementation on
+    ``topo``: host frames of every phase, the leaders' phase trunk
+    crossings, and the expected per-phase repair traffic (intra-segment
+    repairs never touch a trunk — that locality is most of the win
+    under loss)."""
+    from ...analysis.framecount import (expected_seg_repair_frames,
+                                        model_hier_bcast_frames,
+                                        model_hier_reduce_frames)
+    from ...core.segment import plan_transport
+
+    if op not in HIER_AUTO:
+        raise KeyError(f"no hierarchical estimate for collective {op!r}; "
+                       f"hier-capable ops: {sorted(HIER_AUTO)}")
+    if size < 2:
+        return 0
+    nsegs = plan_transport(nbytes, params).nsegs
+    loss = getattr(params, "loss", 0.0)
+    sizes = topo.seg_sizes
+    k = len(sizes)
+    root_seg = topo.seg_of_rank[root if op != "allreduce" else 0]
+
+    def phase_repairs(streams_per_phase) -> float:
+        return sum(streams * expected_seg_repair_frames(n, nsegs, loss)
+                   for n, streams in streams_per_phase)
+
+    if op == "bcast":
+        frames, trunk = model_hier_bcast_frames(sizes, root_seg, nsegs)
+        repairs = phase_repairs([(sz, 1) for sz in sizes] + [(k, 1)])
+        return frames + trunk + repairs
+    if op == "reduce":
+        frames, trunk = model_hier_reduce_frames(sizes, root_seg, nsegs)
+        repairs = phase_repairs([(sz, max(sz - 1, 0)) for sz in sizes]
+                                + [(k, k - 1)])
+        return frames + trunk + repairs
+    # allreduce = hier reduce to rank 0 + hier bcast from rank 0
+    return (hier_frame_estimate("reduce", nbytes, size, params, topo, 0)
+            + hier_frame_estimate("bcast", nbytes, size, params, topo, 0))
+
+
+def modeled_frame_costs(op: str, nbytes: int, size: int, params,
+                        topo: Optional[TopoInfo] = None, root: int = 0,
+                        hier_ok: bool = True) -> dict[str, float]:
+    """Modeled serializations of every candidate implementation for one
+    call — the table :func:`auto_impl` takes the argmin of (and the
+    fabric bench audits against the simulator)."""
+    try:
+        p2p_name, seg_name = AUTO_CHOICES[op]
+    except KeyError:
+        raise KeyError(
+            f"no auto selection policy for collective {op!r}; "
+            f"auto-capable ops: {sorted(AUTO_CHOICES)}") from None
+    from .hier import MAX_HIER_SEGMENTS
+
+    costs = {
+        seg_name: seg_frame_estimate(op, nbytes, size, params, topo,
+                                     root),
+        p2p_name: p2p_frame_estimate(op, nbytes, size, params, topo,
+                                     root),
+    }
+    if (hier_ok and topo is not None
+            and 1 < topo.nsegments <= MAX_HIER_SEGMENTS
+            and op in HIER_AUTO):
+        costs[HIER_AUTO[op]] = hier_frame_estimate(op, nbytes, size,
+                                                   params, topo, root)
+    return costs
+
+
+def auto_impl(op: str, nbytes: int, size: int, params,
+              topo: Optional[TopoInfo] = None, root: int = 0,
+              hier_ok: bool = True) -> str:
+    """Pick the implementation for one call: the candidate with the
+    lowest modeled serialization count.  Ties keep the historical
+    preference order — segmented multicast over hierarchical over the
+    p2p baseline — so on a flat, loss-free cluster the choice is
+    exactly PR 3's "segmented iff its frame estimate is at or below
+    p2p's"."""
     try:
         p2p_name, seg_name = AUTO_CHOICES[op]
     except KeyError:
@@ -144,9 +341,11 @@ def auto_impl(op: str, nbytes: int, size: int, params) -> str:
             f"auto-capable ops: {sorted(AUTO_CHOICES)}") from None
     if size < 2:
         return p2p_name
-    seg = seg_frame_estimate(op, nbytes, size, params)
-    p2p = p2p_frame_estimate(op, nbytes, size, params)
-    return seg_name if seg <= p2p else p2p_name
+    costs = modeled_frame_costs(op, nbytes, size, params, topo, root,
+                                hier_ok)
+    order = {seg_name: 0, HIER_AUTO.get(op, "hier-mcast"): 1,
+             p2p_name: 2}
+    return min(costs, key=lambda name: (costs[name], order[name]))
 
 
 def resolve_auto(comm, op: str, args: tuple) -> Generator:
@@ -166,10 +365,18 @@ def resolve_auto(comm, op: str, args: tuple) -> Generator:
     params = comm.host.params
     if size < 2:
         return AUTO_CHOICES[op][0]
+    topo = comm_topology(comm)
     if op in ("reduce", "allreduce"):
         # MPI requires size-matched contributions: local resolution is
-        # identical everywhere and costs nothing.
-        return auto_impl(op, payload_bytes(args[0]), size, params)
+        # identical everywhere and costs nothing.  The hierarchical
+        # candidate is withheld when it would have to fall back anyway
+        # (non-commutative operator over non-contiguous segments).
+        red_op = args[1]
+        root = args[2] if op == "reduce" else 0
+        hier_ok = (topo is None or topo.contiguous
+                   or getattr(red_op, "commutative", True))
+        return auto_impl(op, payload_bytes(args[0]), size, params,
+                         topo=topo, root=root, hier_ok=hier_ok)
     # Rooted (bcast, scatter) or rank-0-anchored (allgather): the rank
     # that knows the payload announces the choice down the scout tree.
     from ...core.scout import scout_scatter_binary
@@ -184,7 +391,7 @@ def resolve_auto(comm, op: str, args: tuple) -> Generator:
             nbytes = sum(payload_bytes(o) for o in objs) if objs else 0
         else:
             nbytes = payload_bytes(args[0])
-        name = auto_impl(op, nbytes, size, params)
+        name = auto_impl(op, nbytes, size, params, topo=topo, root=root)
     name = yield from scout_scatter_binary(comm, channel, seq, root,
                                            tag="impl-dec", value=name)
     return name

@@ -5,6 +5,11 @@ Combination order: the accumulator always holds the reduction of a
 *contiguous ascending* rank range, and incoming subtree results are always
 appended on the right (``acc = op(acc, incoming)``), so non-commutative
 (but associative) operators see operands in rank order, as MPI requires.
+A tree rooted at a nonzero rank walks *root-relative* ranks, which
+rotates that order — legal only for commutative operators (MPI allows
+reordering exactly then).  Non-commutative reductions at a nonzero root
+therefore run the tree rooted at rank 0 (canonical absolute order, like
+MPICH) and forward the result to the real root with one extra message.
 """
 
 from __future__ import annotations
@@ -29,22 +34,34 @@ def reduce_binomial(comm, obj: Any, op: Op, root: int = 0) -> Generator:
     rank = comm.rank
     if size == 1:
         return copy.copy(obj)
-    rel = (rank - root) % size
+    # Root-relative ranks rotate the fold sequence; keep the tree rooted
+    # at rank 0 for non-commutative ops so operands combine in canonical
+    # absolute-rank order, then forward to the real root.
+    eff_root = root if getattr(op, "commutative", True) else 0
+    rel = (rank - eff_root) % size
 
     acc = obj
     mask = 1
     while mask < size:
         if rel & mask:
-            dst = ((rel & ~mask) + root) % size
+            dst = ((rel & ~mask) + eff_root) % size
             yield from comm._send_coll(acc, dst, TAG_REDUCE)
             break
         src_rel = rel | mask
         if src_rel < size:
-            incoming = yield from comm._recv_coll((src_rel + root) % size,
-                                                  TAG_REDUCE)
+            incoming = yield from comm._recv_coll(
+                (src_rel + eff_root) % size, TAG_REDUCE)
             acc = op(acc, incoming)
         mask <<= 1
 
+    if eff_root != root:
+        if rank == eff_root:
+            yield from comm._send_coll(acc, root, TAG_REDUCE)
+            return None
+        if rank == root:
+            result = yield from comm._recv_coll(eff_root, TAG_REDUCE)
+            return result
+        return None
     return acc if rel == 0 else None
 
 

@@ -18,7 +18,14 @@ is exactly a comparison of entries in this table:
   (mcast reduce composed with the segmented broadcast);
 * ``scatter``: ``"p2p-binomial"`` vs ``"mcast-seg-root"`` (the root
   streams per-rank-addressed segments in one paced burst,
-  :mod:`repro.core.mcast_scatter`).
+  :mod:`repro.core.mcast_scatter`);
+* ``gather``: ``"p2p-binomial"`` vs ``"mcast-seg-root-follow"`` (the
+  root follows each contributor's engine stream,
+  :mod:`repro.core.mcast_gather`);
+* ``bcast``/``reduce``/``allreduce``/``barrier`` additionally register
+  ``"hier-mcast"`` (:mod:`repro.mpi.collective.hier`): per-segment
+  phases bridged by segment leaders on tiered fabrics
+  (:mod:`repro.simnet.fabric`).
 
 :data:`DEFAULTS` is the *static* per-op table a fresh communicator
 starts from; the per-call policy layer

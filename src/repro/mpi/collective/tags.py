@@ -17,3 +17,4 @@ TAG_SCAN = 9
 TAG_SCOUT = 10           #: multicast scout synchronization (over p2p path)
 TAG_ACK = 11             #: ack-based reliable multicast
 TAG_COMM_SETUP = 12      #: communicator construction handshakes
+TAG_HIER = 13            #: hierarchical-collective leader→root forwards

@@ -56,6 +56,13 @@ class Communicator:
         self._impls = dict(DEFAULTS)
         self._policy = None
         self._mcast = None
+        #: lazily-built hierarchy state (segment map, leaders, and the
+        #: per-segment/leaders multicast sub-channels) for the
+        #: ``hier-mcast`` collectives; see :mod:`repro.mpi.collective.hier`
+        self._hier = None
+        #: cached auto-policy topology (``False`` = not yet computed;
+        #: ``None`` = single-segment; else a policy ``TopoInfo``)
+        self._topo_info = False
         self._freed = False
         #: chronological (op, args-signature) log of collective calls on
         #: this communicator — the raw material for the paper's §4
@@ -412,13 +419,21 @@ class Communicator:
         yield from barrier_mpich(self)
 
     def free(self) -> None:
-        """Release multicast resources (idempotent)."""
+        """Release multicast resources (idempotent).
+
+        Closing the channels emits one IGMP leave per joined group, so
+        the switches' snooped member sets shrink and no stale group
+        entry keeps forwarding frames toward this communicator.
+        """
         if self._freed:
             return
         self._freed = True
         if self._mcast is not None:
             self._mcast.close()
             self._mcast = None
+        if self._hier is not None:
+            self._hier.close()
+            self._hier = None
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:

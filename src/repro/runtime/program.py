@@ -79,19 +79,25 @@ def run_spmd(n: int,
              skew: Optional[SkewModel] = None,
              collectives: Optional[dict[str, str]] = None,
              eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
-             max_sim_us: Optional[float] = None) -> RunResult:
+             max_sim_us: Optional[float] = None,
+             trunk_params: Optional[NetParams] = None) -> RunResult:
     """Run ``main`` as an ``n``-rank SPMD program on a fresh cluster.
 
-    ``collectives`` maps collective names to implementation names, e.g.
-    ``{"bcast": "mcast-binary", "barrier": "mcast"}`` — the experiment
-    knob of the whole reproduction.
+    ``topology`` is ``"hub"``, ``"switch"``, or a tiered-fabric string
+    like ``"tree:2x4"`` (2 leaf switches of 4 hosts each behind a core —
+    see :mod:`repro.simnet.fabric`); ``trunk_params`` then sets the wire
+    parameters of the switch-to-switch trunks.  ``collectives`` maps
+    collective names to implementation names, e.g. ``{"bcast":
+    "mcast-binary", "barrier": "mcast"}`` — the experiment knob of the
+    whole reproduction.
 
     ``skew`` delays each rank's start (startup asynchrony); ``max_sim_us``
     bounds runaway simulations (e.g. intentional deadlocks in tests).
     """
     if n < 1:
         raise ValueError(f"need at least 1 rank, got {n}")
-    cluster = build_cluster(n, topology=topology, params=params, seed=seed)
+    cluster = build_cluster(n, topology=topology, params=params, seed=seed,
+                            trunk_params=trunk_params)
     world = MpiWorld(cluster, eager_threshold=eager_threshold)
     skew = skew if skew is not None else NoSkew()
 

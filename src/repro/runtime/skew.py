@@ -26,7 +26,8 @@ __all__ = ["SkewModel", "NoSkew", "UniformSkew", "FixedSkew",
 class SkewModel(Protocol):
     """Anything that maps a rank to a start delay in µs."""
 
-    def delay(self, rank: int) -> float: ...
+    def delay(self, rank: int) -> float:
+        ...
 
 
 class NoSkew:

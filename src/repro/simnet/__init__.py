@@ -8,6 +8,7 @@ paper's receiver-readiness semantics.  See DESIGN.md §3.
 
 from .calibration import (FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH,
                           NetParams, VIA_SWITCH, quiet)
+from .fabric import Fabric, FabricSpec, parse_topology
 from .frame import BROADCAST, Frame, is_multicast, mcast_mac, wire_bytes
 from .host import Host
 from .ip import Datagram, GroupAllocator, fragment_sizes, is_group_addr
@@ -26,11 +27,11 @@ from .udp import SocketClosed, UdpSocket
 __all__ = [
     "AllOf", "AnyOf", "BROADCAST", "Cluster", "Datagram", "DeadlockError",
     "Event", "ExcessiveCollisions", "FAST_ETHERNET_HUB",
-    "FAST_ETHERNET_SWITCH", "Frame", "FullLink", "GroupAllocator",
-    "HalfLink", "Host", "Interrupt", "NetParams", "NetStats", "Nic",
-    "Process", "Resource", "SharedMedium", "SimError", "Simulator",
-    "SocketClosed", "Switch", "TOPOLOGIES", "Timeout", "TraceEvent",
-    "Tracer", "UdpSocket", "VIA_SWITCH", "build_cluster",
+    "FAST_ETHERNET_SWITCH", "Fabric", "FabricSpec", "Frame", "FullLink",
+    "GroupAllocator", "HalfLink", "Host", "Interrupt", "NetParams",
+    "NetStats", "Nic", "Process", "Resource", "SharedMedium", "SimError",
+    "Simulator", "SocketClosed", "Switch", "TOPOLOGIES", "Timeout",
+    "TraceEvent", "Tracer", "UdpSocket", "VIA_SWITCH", "build_cluster",
     "fragment_sizes", "is_group_addr", "is_multicast", "mcast_mac",
-    "quiet", "wire_bytes",
+    "parse_topology", "quiet", "wire_bytes",
 ]

@@ -127,6 +127,16 @@ class NetParams:
     #: A finite budget turns a long unpaced burst into paper-§5 overrun:
     #: datagrams beyond the ring are dropped and must be NACK-repaired.
     seg_recv_budget: "int | None" = None
+    #: *expected* per-round multicast data-datagram loss probability —
+    #: a modelling knob, not a fault injector (benches and tests induce
+    #: actual loss via ``UdpSocket.drop_filter`` or finite
+    #: ``seg_recv_budget``).  The payload-aware auto policy folds the
+    #: NACK-repair rounds this expectation implies into its frame
+    #: estimates (:func:`repro.analysis.framecount.
+    #: expected_seg_repair_frames`), so on a platform calibrated with
+    #: nonzero loss the selection crossover shifts toward the p2p trees
+    #: and the hierarchical variants whose repairs stay off the trunks.
+    loss: float = 0.0
 
     label: str = field(default="custom", compare=False)
 

@@ -1,0 +1,195 @@
+"""Multi-segment switched fabrics: a tree of switches joined by trunks.
+
+The paper's platforms are a single hub or a single switch; this module
+grows the simulator past that ceiling with the classic two-tier "switch
+of switches" fabric: every **segment** is a leaf :class:`~repro.simnet.
+switchdev.Switch` with its own hosts, and every leaf hangs off one core
+switch through a full-duplex **trunk** whose links may carry their own
+:class:`~repro.simnet.calibration.NetParams` (a faster or slower
+backbone than the edge).
+
+Three properties make the fabric more than wiring:
+
+* **trunk accounting** — trunk half-links are created with
+  ``is_trunk=True``, so every serialization on a switch-to-switch link
+  lands in ``NetStats.frames_trunk`` / ``trunk_frames_by_kind``.  Trunks
+  are the scarce, shared resource of a tiered network (Karonis &
+  de Supinski's motivation for topology-aware collectives), and the
+  hierarchical collectives of :mod:`repro.mpi.collective.hier` are
+  judged by exactly this counter;
+* **snooping across tiers** — IGMP report/leave frames are snooped at
+  the ingress switch and propagated out its trunk ports (see
+  :meth:`~repro.simnet.switchdev.Switch._snoop`), so the core learns
+  which segments contain members and a leaf learns whether anyone
+  *outside* its segment is interested.  A multicast frame therefore
+  crosses each trunk at most once, and only toward segments with
+  members — never once per member;
+* **topology discovery** — the :class:`Fabric` exposes segment
+  membership, per-host segment ids, and the trunk-hop distance matrix.
+  :class:`~repro.simnet.topology.Cluster` forwards this API (degrading
+  to one segment on flat topologies), and ranks query it at runtime via
+  ``comm.world.cluster`` to elect per-segment leaders and to let the
+  auto collective policy weigh trunk crossings.
+
+Topology strings: ``parse_topology("tree:2x4")`` describes 2 segments of
+4 hosts each; :func:`~repro.simnet.topology.build_cluster` accepts these
+strings alongside ``"hub"`` and ``"switch"``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .calibration import NetParams
+from .host import Host
+from .kernel import Simulator
+from .link import HalfLink
+from .stats import NetStats
+from .switchdev import Switch
+
+__all__ = ["FabricSpec", "Fabric", "parse_topology", "build_fabric"]
+
+_TREE_RE = re.compile(r"^tree:(\d+)x(\d+)$")
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A parsed tiered-topology description."""
+
+    segments: int            #: leaf switches hanging off the core
+    hosts_per_segment: int   #: hosts cabled to each leaf
+
+    @property
+    def n(self) -> int:
+        return self.segments * self.hosts_per_segment
+
+
+def parse_topology(spec: str) -> Optional[FabricSpec]:
+    """Parse a topology string; ``None`` for the flat topologies.
+
+    ``"tree:SxH"`` is S segments of H hosts each (``"tree:2x4"`` = two
+    4-host leaf switches behind one core).  Anything else that is not a
+    known flat topology raises.
+    """
+    match = _TREE_RE.match(spec)
+    if match is None:
+        return None
+    segments, hosts = int(match.group(1)), int(match.group(2))
+    if segments < 1 or hosts < 1:
+        raise ValueError(f"topology {spec!r} needs at least one segment "
+                         f"and one host per segment")
+    return FabricSpec(segments=segments, hosts_per_segment=hosts)
+
+
+class Fabric:
+    """A two-tier switch fabric plus its discovery API."""
+
+    def __init__(self, sim: Simulator, params: NetParams,
+                 stats: NetStats,
+                 trunk_params: Optional[NetParams] = None):
+        self.sim = sim
+        self.params = params
+        self.stats = stats
+        #: NetParams of the switch-to-switch trunk links (rate,
+        #: propagation); defaults to the edge parameters.
+        self.trunk_params = trunk_params if trunk_params is not None \
+            else params
+        self.core = Switch(sim, params, stats=stats, name="core")
+        self.leaves: list[Switch] = []
+        self._segments: list[list[int]] = []   # host addrs per segment
+        self._segment_of: dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_segment(self, hosts: list[Host]) -> Switch:
+        """Wire ``hosts`` to a fresh leaf switch, trunked to the core."""
+        seg_id = len(self.leaves)
+        leaf = Switch(self.sim, self.params, stats=self.stats,
+                      name=f"leaf{seg_id}")
+        for host in hosts:
+            port_holder: list[int] = []
+            up = HalfLink(self.sim, self.params, self.stats,
+                          deliver=_ingress(leaf, port_holder),
+                          name=f"{host.name}->{leaf.name}")
+            down = HalfLink(self.sim, self.params, self.stats,
+                            deliver=host.nic.deliver,
+                            name=f"{leaf.name}->{host.name}",
+                            count_as_send=False)
+            port_holder.append(leaf.add_port(down))
+            host.nic.attach_link(up)
+        # Trunk pair: each direction is an egress of one switch and the
+        # ingress of the other; both carry the trunk NetParams and are
+        # tallied in the trunk counters.
+        core_holder: list[int] = []
+        leaf_holder: list[int] = []
+        leaf_to_core = HalfLink(self.sim, self.trunk_params, self.stats,
+                                deliver=_ingress(self.core, core_holder),
+                                name=f"{leaf.name}->core",
+                                count_as_send=False, is_trunk=True)
+        core_to_leaf = HalfLink(self.sim, self.trunk_params, self.stats,
+                                deliver=_ingress(leaf, leaf_holder),
+                                name=f"core->{leaf.name}",
+                                count_as_send=False, is_trunk=True)
+        leaf_holder.append(leaf.add_port(leaf_to_core, trunk=True))
+        core_holder.append(self.core.add_port(core_to_leaf, trunk=True))
+        self.leaves.append(leaf)
+        self._segments.append([h.addr for h in hosts])
+        for host in hosts:
+            self._segment_of[host.addr] = seg_id
+        return leaf
+
+    # -- discovery -------------------------------------------------------
+    @property
+    def nsegments(self) -> int:
+        return len(self._segments)
+
+    def segment_of(self, addr: int) -> int:
+        """Segment id of a host address."""
+        try:
+            return self._segment_of[addr]
+        except KeyError:
+            raise ValueError(f"host {addr} is not attached to this "
+                             f"fabric") from None
+
+    def segment_members(self, seg_id: int) -> list[int]:
+        """Host addresses attached to segment ``seg_id``."""
+        if not 0 <= seg_id < len(self._segments):
+            raise ValueError(f"no segment {seg_id} in a "
+                             f"{len(self._segments)}-segment fabric")
+        return list(self._segments[seg_id])
+
+    def trunk_hops(self, a: int, b: int) -> int:
+        """Trunk serializations between hosts ``a`` and ``b``: 0 inside
+        one segment, 2 across segments (up to the core, down again)."""
+        return 0 if self.segment_of(a) == self.segment_of(b) else 2
+
+    def trunk_distance_matrix(self) -> list[list[int]]:
+        """``matrix[a][b]`` = trunk hops between host addrs a and b."""
+        addrs = sorted(self._segment_of)
+        return [[self.trunk_hops(a, b) for b in addrs] for a in addrs]
+
+
+def build_fabric(sim: Simulator, params: NetParams, hosts: list[Host],
+                 spec: FabricSpec, stats: NetStats,
+                 trunk_params: Optional[NetParams] = None) -> Fabric:
+    """Partition ``hosts`` into consecutive segments per ``spec`` and
+    wire the two-tier fabric."""
+    if len(hosts) != spec.n:
+        raise ValueError(
+            f"tree:{spec.segments}x{spec.hosts_per_segment} needs exactly "
+            f"{spec.n} hosts, got {len(hosts)}")
+    fabric = Fabric(sim, params, stats, trunk_params=trunk_params)
+    per = spec.hosts_per_segment
+    for s in range(spec.segments):
+        fabric.add_segment(hosts[s * per:(s + 1) * per])
+    return fabric
+
+
+def _ingress(switch: Switch, port_holder: list[int]):
+    """Bind the ingress callback to the port index assigned afterwards."""
+
+    def ingress(frame):
+        switch.receive(port_holder[0], frame)
+
+    return ingress

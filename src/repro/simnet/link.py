@@ -26,7 +26,7 @@ class HalfLink:
 
     def __init__(self, sim: Simulator, params: NetParams, stats: NetStats,
                  deliver: Callable[[Frame], object], name: str = "",
-                 count_as_send: bool = True):
+                 count_as_send: bool = True, is_trunk: bool = False):
         self.sim = sim
         self.params = params
         self.stats = stats
@@ -36,6 +36,10 @@ class HalfLink:
         #: frame accounting); switch egress links count as forwards so a
         #: switched path is not double-counted.
         self.count_as_send = count_as_send
+        #: switch-to-switch trunk links additionally count toward
+        #: ``frames_trunk`` — the contended resource of a tiered fabric
+        #: (see :mod:`repro.simnet.fabric`).
+        self.is_trunk = is_trunk
         self._queue: deque[tuple[Frame, Event]] = deque()
         self._busy = False
 
@@ -62,6 +66,8 @@ class HalfLink:
             self.stats.record_send(frame.wire_size, frame.kind)
         else:
             self.stats.frames_forwarded += 1
+        if self.is_trunk:
+            self.stats.record_trunk(frame.kind)
         self.sim.schedule_call(wire_us + self.params.prop_delay_us,
                                self._arrive, frame)
         self.sim.schedule_call(wire_us, self._sent, done)

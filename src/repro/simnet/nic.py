@@ -27,7 +27,8 @@ __all__ = ["Nic", "TxPort"]
 class TxPort(Protocol):
     """Anything a NIC can transmit through (shared medium or half link)."""
 
-    def transmit(self, nic: "Nic", frame: Frame) -> Event: ...
+    def transmit(self, nic: "Nic", frame: Frame) -> Event:
+        ...
 
 
 class _MediumPort:

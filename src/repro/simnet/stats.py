@@ -20,6 +20,7 @@ class NetStats:
 
     frames_sent: int = 0          #: host-originated frame transmissions
     frames_forwarded: int = 0     #: switch-egress re-serializations
+    frames_trunk: int = 0         #: serializations on switch-to-switch trunks
     frames_delivered: int = 0     #: frame copies accepted by a NIC filter
     bytes_sent: int = 0           #: wire bytes (incl. Ethernet overhead)
     collisions: int = 0           #: CSMA/CD collision events
@@ -32,17 +33,27 @@ class NetStats:
     datagrams_delivered: int = 0
     retransmissions: int = 0      #: ack-based reliable-multicast resends
     frames_by_kind: Counter = field(default_factory=Counter)
+    #: per-kind serializations on trunk links — the scarce resource of a
+    #: tiered fabric (each crossing re-serializes the frame on a
+    #: switch-to-switch link, so a frame that traverses two trunks
+    #: counts twice here)
+    trunk_frames_by_kind: Counter = field(default_factory=Counter)
 
     def record_send(self, wire_size: int, kind: str) -> None:
         self.frames_sent += 1
         self.bytes_sent += wire_size
         self.frames_by_kind[kind] += 1
 
+    def record_trunk(self, kind: str) -> None:
+        self.frames_trunk += 1
+        self.trunk_frames_by_kind[kind] += 1
+
     def snapshot(self) -> dict:
         """A plain-dict copy (for RunResult reporting)."""
         return {
             "frames_sent": self.frames_sent,
             "frames_forwarded": self.frames_forwarded,
+            "frames_trunk": self.frames_trunk,
             "frames_delivered": self.frames_delivered,
             "bytes_sent": self.bytes_sent,
             "collisions": self.collisions,
@@ -55,6 +66,7 @@ class NetStats:
             "datagrams_delivered": self.datagrams_delivered,
             "retransmissions": self.retransmissions,
             "frames_by_kind": dict(self.frames_by_kind),
+            "trunk_frames_by_kind": dict(self.trunk_frames_by_kind),
         }
 
     def diff(self, earlier: dict) -> dict:
@@ -62,7 +74,7 @@ class NetStats:
         now = self.snapshot()
         out = {}
         for key, val in now.items():
-            if key == "frames_by_kind":
+            if isinstance(val, dict):
                 prev = earlier.get(key, {})
                 out[key] = {k: v - prev.get(k, 0) for k, v in val.items()}
             else:

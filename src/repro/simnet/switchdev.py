@@ -19,6 +19,20 @@ Models the paper's HP ProCurve managed switch:
 Egress ports forward in parallel with each other — the fan-out of a
 multicast frame costs one serialization *per egress port* but those happen
 concurrently, unlike the hub where everything shares one wire.
+
+**Tiered fabrics** (:mod:`repro.simnet.fabric`) connect switches to each
+other through **trunk ports** (``add_port(..., trunk=True)``).  Two things
+distinguish a trunk port from a host port:
+
+* membership is **refcounted** per ``(group, port)`` — a trunk aggregates
+  every downstream member behind it, so the port stays in the member set
+  until the *last* downstream join has been matched by a leave;
+* IGMP report/leave frames are snooped *and then propagated* out every
+  other trunk port (hosts never see them), so membership knowledge
+  diffuses across the whole switch tree: a multicast frame pays trunk
+  bandwidth only toward segments that actually contain members, and only
+  **once** per interested downstream segment regardless of how many
+  members live there.
 """
 
 from __future__ import annotations
@@ -35,11 +49,12 @@ __all__ = ["Switch"]
 
 
 class _Port:
-    __slots__ = ("index", "out")
+    __slots__ = ("index", "out", "trunk")
 
-    def __init__(self, index: int, out: HalfLink):
+    def __init__(self, index: int, out: HalfLink, trunk: bool):
         self.index = index
         self.out = out
+        self.trunk = trunk
 
 
 class Switch:
@@ -53,16 +68,26 @@ class Switch:
         self.name = name
         self._ports: list[_Port] = []
         self._mac_table: dict[int, int] = {}
-        self._mcast_table: dict[int, set[int]] = {}
+        # group -> {port index: downstream member refcount}
+        self._mcast_table: dict[int, dict[int, int]] = {}
         self.frames_switched = 0
         self.frames_flooded = 0
 
     # -- wiring -----------------------------------------------------------
-    def add_port(self, out: HalfLink) -> int:
-        """Register an egress half-link; returns the new port index."""
-        port = _Port(len(self._ports), out)
+    def add_port(self, out: HalfLink, trunk: bool = False) -> int:
+        """Register an egress half-link; returns the new port index.
+
+        ``trunk=True`` marks a switch-to-switch port: IGMP traffic is
+        propagated out of it and its group membership is refcounted (it
+        fronts every downstream member of its segment subtree).
+        """
+        port = _Port(len(self._ports), out, trunk)
         self._ports.append(port)
         return port.index
+
+    @property
+    def trunk_ports(self) -> list[int]:
+        return [p.index for p in self._ports if p.trunk]
 
     # -- data path ------------------------------------------------------
     def receive(self, port_idx: int, frame: Frame) -> None:
@@ -87,7 +112,8 @@ class Switch:
                 # Unregistered group: flood (default switch behaviour).
                 self.frames_flooded += 1
                 return [p.index for p in self._ports if p.index != ingress]
-            return [i for i in sorted(members) if i != ingress]
+            return [i for i in sorted(members)
+                    if members[i] > 0 and i != ingress]
         port = self._mac_table.get(dst)
         if port is None:
             self.frames_flooded += 1
@@ -98,22 +124,33 @@ class Switch:
     def _snoop(self, port_idx: int, frame: Frame) -> None:
         op, group = frame.payload
         if op == "join":
-            self._mcast_table.setdefault(group, set()).add(port_idx)
+            refs = self._mcast_table.setdefault(group, {})
+            refs[port_idx] = refs.get(port_idx, 0) + 1
         elif op == "leave":
-            members = self._mcast_table.get(group)
-            if members is not None:
-                members.discard(port_idx)
-                if not members:
-                    # Keep the (now empty) entry: the group is registered,
-                    # so traffic to it is dropped rather than flooded.
-                    pass
+            # A leave for a never-registered group must not register it
+            # (that would flip its traffic from flood to drop); for a
+            # known group, keep the (possibly now empty) entry — the
+            # group stays registered, so traffic to it is dropped
+            # rather than flooded.
+            refs = self._mcast_table.get(group)
+            if refs is not None and refs.get(port_idx, 0) > 0:
+                refs[port_idx] -= 1
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown IGMP op {op!r}")
+        # Propagate membership knowledge across the switch tree: every
+        # other *trunk* port forwards the report/leave (hosts never see
+        # IGMP — report suppression, as real snooping switches do).  The
+        # fabric is a tree, so propagation cannot loop.
+        for port in self._ports:
+            if port.trunk and port.index != port_idx:
+                self.sim.schedule_call(self.params.switch_latency_us,
+                                       port.out.send, frame)
 
     # -- inspection -------------------------------------------------------
     def members_of(self, group: int) -> set[int]:
         """Snooped member ports of a multicast group (empty if none)."""
-        return set(self._mcast_table.get(group, set()))
+        refs = self._mcast_table.get(group, {})
+        return {i for i, n in refs.items() if n > 0}
 
     def port_of(self, mac: int) -> Optional[int]:
         return self._mac_table.get(mac)

@@ -1,16 +1,24 @@
-"""Cluster topology builders: the paper's two experimental platforms.
+"""Cluster topology builders: the paper's two experimental platforms,
+plus tiered multi-segment fabrics.
 
 :func:`build_cluster` assembles ``n`` hosts connected through either
 
 * ``"hub"``  — one CSMA/CD :class:`~repro.simnet.medium.SharedMedium`
-  (the 3Com SuperStack II hub: one collision domain, natural broadcast), or
+  (the 3Com SuperStack II hub: one collision domain, natural broadcast),
 * ``"switch"`` — a store-and-forward :class:`~repro.simnet.switchdev.Switch`
   with a full-duplex link per host (the HP ProCurve: no collisions,
-  parallel port-to-port paths, IGMP snooping).
+  parallel port-to-port paths, IGMP snooping), or
+* ``"tree:SxH"`` — a two-tier :class:`~repro.simnet.fabric.Fabric`: S
+  leaf switches of H hosts each behind one core switch, joined by trunk
+  links that may carry their own ``trunk_params`` (see
+  :mod:`repro.simnet.fabric`).
 
-Both return a :class:`Cluster` holding the simulator, hosts, shared
+All return a :class:`Cluster` holding the simulator, hosts, shared
 statistics, and a :class:`~repro.simnet.ip.GroupAllocator` for multicast
-group addresses.
+group addresses.  The cluster also answers **topology discovery**
+questions (segment membership, per-host segment id, trunk distances) so
+collectives can adapt to the fabric at runtime; on the flat topologies
+the answers degrade to a single segment holding every host.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .calibration import NetParams, FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH
+from .fabric import Fabric, build_fabric, parse_topology
 from .host import Host
 from .ip import GroupAllocator
 from .kernel import Simulator
@@ -30,6 +39,7 @@ from .switchdev import Switch
 
 __all__ = ["Cluster", "build_cluster", "TOPOLOGIES"]
 
+#: the flat topologies; ``"tree:SxH"`` strings are accepted alongside
 TOPOLOGIES = ("hub", "switch")
 
 
@@ -45,6 +55,7 @@ class Cluster:
     groups: GroupAllocator = field(default_factory=GroupAllocator)
     medium: Optional[SharedMedium] = None
     switch: Optional[Switch] = None
+    fabric: Optional[Fabric] = None
 
     @property
     def n(self) -> int:
@@ -53,21 +64,66 @@ class Cluster:
     def host(self, addr: int) -> Host:
         return self.hosts[addr]
 
+    # -- topology discovery (uniform across flat and tiered builds) ------
+    @property
+    def nsegments(self) -> int:
+        """Switch segments in the fabric (1 on hub/switch)."""
+        return self.fabric.nsegments if self.fabric is not None else 1
+
+    def segment_of(self, addr: int) -> int:
+        """Segment id of a host address (0 on flat topologies)."""
+        if self.fabric is not None:
+            return self.fabric.segment_of(addr)
+        if not 0 <= addr < len(self.hosts):
+            raise ValueError(f"host {addr} is not part of this cluster")
+        return 0
+
+    def segment_members(self, seg_id: int) -> list[int]:
+        """Host addresses in segment ``seg_id``."""
+        if self.fabric is not None:
+            return self.fabric.segment_members(seg_id)
+        if seg_id != 0:
+            raise ValueError(f"no segment {seg_id} in a flat cluster")
+        return [h.addr for h in self.hosts]
+
+    def trunk_hops(self, a: int, b: int) -> int:
+        """Trunk serializations on the a↔b path (0 on flat topologies)."""
+        if self.fabric is not None:
+            return self.fabric.trunk_hops(a, b)
+        return 0
+
+    def trunk_distance_matrix(self) -> list[list[int]]:
+        """``matrix[a][b]`` = trunk hops between host addrs a and b."""
+        if self.fabric is not None:
+            return self.fabric.trunk_distance_matrix()
+        n = len(self.hosts)
+        return [[0] * n for _ in range(n)]
+
 
 def build_cluster(n: int, topology: str = "switch",
                   params: Optional[NetParams] = None,
-                  seed: int = 0) -> Cluster:
+                  seed: int = 0,
+                  trunk_params: Optional[NetParams] = None) -> Cluster:
     """Build an ``n``-host cluster on the given topology.
 
     ``seed`` drives every stochastic element (CSMA/CD backoff, software
     jitter) through per-host substreams, so a (n, topology, params, seed)
-    tuple is fully reproducible.
+    tuple is fully reproducible.  ``trunk_params`` sets the wire
+    parameters of the switch-to-switch trunks of a ``"tree:SxH"`` build
+    (defaults to ``params`` — an undifferentiated backbone).
     """
     if n < 1:
         raise ValueError(f"cluster needs at least one host, got n={n}")
+    spec = None
     if topology not in TOPOLOGIES:
-        raise ValueError(f"unknown topology {topology!r}; "
-                         f"expected one of {TOPOLOGIES}")
+        spec = parse_topology(topology)
+        if spec is None:
+            raise ValueError(f"unknown topology {topology!r}; "
+                             f"expected one of {TOPOLOGIES} or 'tree:SxH'")
+        if spec.n != n:
+            raise ValueError(
+                f"topology {topology!r} wires exactly {spec.n} hosts, "
+                f"got n={n}")
     if params is None:
         params = FAST_ETHERNET_HUB if topology == "hub" else FAST_ETHERNET_SWITCH
 
@@ -79,7 +135,10 @@ def build_cluster(n: int, topology: str = "switch",
     cluster = Cluster(sim=sim, params=params, topology=topology,
                       hosts=hosts, stats=stats)
 
-    if topology == "hub":
+    if spec is not None:
+        cluster.fabric = build_fabric(sim, params, hosts, spec, stats,
+                                      trunk_params=trunk_params)
+    elif topology == "hub":
         medium = SharedMedium(sim, params,
                               rng=random.Random(master.randrange(2**63)),
                               stats=stats)

@@ -1,6 +1,7 @@
-"""The payload-aware "auto" selection layer: closed-form choices, the
-per-call resolution protocol (local vs scout-tree announcement), the
-policy hook, and inheritance across dup/split."""
+"""The payload-, topology- and loss-aware "auto" selection layer:
+closed-form choices, the per-call resolution protocol (local vs
+scout-tree announcement), the policy hook, and inheritance across
+dup/split."""
 
 from dataclasses import replace
 
@@ -8,10 +9,13 @@ import numpy as np
 import pytest
 
 from repro import run_spmd
-from repro.mpi.collective.policy import (AUTO_CHOICES, auto_impl,
+from repro.mpi.collective.policy import (AUTO_CHOICES, TopoInfo,
+                                         auto_impl, comm_topology,
+                                         hier_frame_estimate,
+                                         modeled_frame_costs,
                                          p2p_frame_estimate,
                                          seg_frame_estimate)
-from repro.mpi.ops import SUM
+from repro.mpi.ops import SUM, Op
 from repro.simnet import quiet
 from repro.simnet.calibration import FAST_ETHERNET_SWITCH
 
@@ -55,7 +59,7 @@ def test_frame_estimates_grow_with_payload_and_reject_unknown_ops():
                 > p2p_frame_estimate(op, 100, 4, AUTO))
         assert (seg_frame_estimate(op, 100_000, 4, AUTO)
                 > seg_frame_estimate(op, 100, 4, AUTO))
-    with pytest.raises(KeyError):
+    with pytest.raises(KeyError, match="auto-capable"):
         auto_impl("barrier", 0, 4, AUTO)
     with pytest.raises(KeyError):
         p2p_frame_estimate("barrier", 0, 4, AUTO)
@@ -228,3 +232,137 @@ def test_auto_survives_dup_and_split():
 
     result = run_spmd(4, main, params=AUTO)
     assert result.returns == [(48_000, 1, True)] * 4
+
+
+# --------------------------------------------------- topology + loss layer
+def _topo(seg_of_rank):
+    """TopoInfo through the same layout computation the impl executes
+    against — fixtures cannot drift from hier's definitions."""
+    from repro.mpi.collective.hier import layout_from_segments
+
+    dense, _members, _leaders, contiguous = layout_from_segments(
+        list(seg_of_rank))
+    return TopoInfo(seg_of_rank=dense, contiguous=contiguous)
+
+
+TREE_2x4 = _topo((0, 0, 0, 0, 1, 1, 1, 1))
+
+
+def test_loss_shifts_the_bcast_crossover_back_to_p2p():
+    """At 24 kB / 4 ranks the loss-free policy picks the segmented
+    stream; a 30% expected loss rate prices in repair rounds and flips
+    the choice back to the tree."""
+    lossy = replace(AUTO, loss=0.3)
+    assert auto_impl("bcast", 24_000, 4, AUTO) == "mcast-seg-nack"
+    assert auto_impl("bcast", 24_000, 4, lossy) == "p2p-binomial"
+    assert (seg_frame_estimate("bcast", 24_000, 4, lossy)
+            > seg_frame_estimate("bcast", 24_000, 4, AUTO))
+
+
+def test_loss_zero_keeps_pr3_choices_exactly():
+    """The historical flat, loss-free behaviour is bit-for-bit intact:
+    segmented iff its estimate is at or below p2p's."""
+    for op in sorted(AUTO_CHOICES):
+        for nbytes in (64, 1460, 12_000, 48_000):
+            seg = seg_frame_estimate(op, nbytes, 4, AUTO)
+            p2p = p2p_frame_estimate(op, nbytes, 4, AUTO)
+            expect = AUTO_CHOICES[op][1 if seg <= p2p else 0]
+            assert auto_impl(op, nbytes, 4, AUTO) == expect
+
+
+def test_modeled_costs_include_hier_only_on_fabrics():
+    flat = modeled_frame_costs("bcast", 24_000, 8, AUTO)
+    assert "hier-mcast" not in flat
+    tiered = modeled_frame_costs("bcast", 24_000, 8, AUTO, TREE_2x4)
+    assert "hier-mcast" in tiered
+    assert set(tiered) == {"p2p-binomial", "mcast-seg-nack",
+                           "hier-mcast"}
+
+
+def test_auto_always_picks_the_modeled_minimum_on_fabrics():
+    for op in ("bcast", "reduce", "allreduce"):
+        for nbytes in (64, 2000, 24_000, 100_000):
+            costs = modeled_frame_costs(op, nbytes, 8, AUTO, TREE_2x4)
+            pick = auto_impl(op, nbytes, 8, AUTO, topo=TREE_2x4)
+            assert costs[pick] == min(costs.values()), (op, nbytes,
+                                                        costs, pick)
+
+
+def test_hier_estimate_tracks_trunk_savings():
+    """On a wide 2-segment fabric the hierarchical broadcast's modeled
+    cost undercuts the flat stream (whose every remote receiver pays
+    the trunk for its control), so auto picks hier-mcast."""
+    wide = _topo((0,) * 16 + (1,) * 16)
+    costs = modeled_frame_costs("bcast", 24_000, 32, AUTO, wide)
+    assert costs["hier-mcast"] < costs["mcast-seg-nack"]
+    assert auto_impl("bcast", 24_000, 32, AUTO, topo=wide) == "hier-mcast"
+
+
+def test_hier_estimate_rejects_non_hier_ops():
+    with pytest.raises(KeyError, match="hier-capable"):
+        hier_frame_estimate("allgather", 1000, 8, AUTO, TREE_2x4)
+
+
+def test_comm_topology_is_none_on_flat_and_single_segment_comms():
+    def main(env):
+        world_topo = comm_topology(env.comm)
+        sub = yield from env.comm.split(env.rank // 4, key=env.rank)
+        return (world_topo.seg_of_rank if world_topo else None,
+                comm_topology(sub) is None, world_topo.contiguous
+                if world_topo else None)
+
+    tree = run_spmd(8, main, topology="tree:2x4", params=QUIET)
+    assert tree.returns == [((0, 0, 0, 0, 1, 1, 1, 1), True, True)] * 8
+    flat = run_spmd(4, lambda env: main(env), params=QUIET)
+    assert all(t is None for t, _sub, _c in flat.returns)
+
+
+def test_auto_on_tree_fabric_resolves_hier_consistently():
+    """End to end: a big allreduce on a wide tree dispatches hier-mcast
+    on every rank, and the result is right."""
+    def main(env):
+        env.comm.use_collectives(allreduce="auto")
+        out = yield from env.comm.allreduce(
+            np.ones(12_500, dtype=np.float64), SUM)
+        ok = bool(np.all(out == env.size))
+        return ok, env.comm.impl_log[-1]
+
+    result = run_spmd(8, main, topology="tree:2x4", params=AUTO)
+    oks = {ok for ok, _ in result.returns}
+    impls = {impl for _, impl in result.returns}
+    assert oks == {True}
+    assert len(impls) == 1   # everyone resolved identically
+    (op, name), = impls
+    costs = modeled_frame_costs("allreduce", 100_000, 8, AUTO, TREE_2x4)
+    assert op == "allreduce" and costs[name] == min(costs.values())
+
+
+def test_auto_withholds_hier_reduce_for_non_commutative_interleaved():
+    """A non-commutative reduce over interleaved segments may not pick
+    hier-mcast (which would fall back internally and break the model):
+    the policy withholds the candidate."""
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def main(env):
+        key = (env.rank % 4) * 2 + env.rank // 4
+        sub = yield from env.comm.split(0, key=key)
+        sub.use_collectives(reduce="auto")
+        out = yield from sub.reduce("r" + str(sub.rank), concat, 0)
+        picked = sub.impl_log[-1][1]
+        return out, picked, comm_topology(sub).contiguous
+
+    result = run_spmd(8, main, topology="tree:2x4", params=AUTO)
+    for out, picked, contiguous in result.returns:
+        assert not contiguous
+        assert picked != "hier-mcast"
+        if out is not None:
+            assert out == "".join(f"r{i}" for i in range(8))
+
+
+def test_hier_candidate_withheld_beyond_max_segments():
+    """A fabric wider than hier-mcast supports must not be offered the
+    hier candidate (which would raise at dispatch)."""
+    huge = _topo(tuple(range(65)) * 2)
+    costs = modeled_frame_costs("bcast", 100_000, 130, AUTO, huge)
+    assert "hier-mcast" not in costs
+    assert auto_impl("bcast", 100_000, 130, AUTO, topo=huge) != "hier-mcast"

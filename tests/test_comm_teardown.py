@@ -1,0 +1,131 @@
+"""Communicator teardown: ``free()`` after ``dup``/``split`` must emit
+IGMP leaves that shrink the switches' snooped member sets, and no stale
+group entry may keep forwarding frames toward a freed communicator."""
+
+from repro import run_spmd
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+
+#: time for a leave to traverse host uplink (+ trunks) and be snooped
+SETTLE_US = 5000.0
+
+
+def test_free_after_dup_shrinks_snooped_members():
+    def main(env):
+        dup = yield from env.comm.dup()
+        out = yield from dup.bcast(b"d" if env.rank == 0 else None, 0)
+        group = dup.mcast.group
+        switch = env.comm.world.cluster.switch
+        yield from env.comm.barrier()     # all ranks used the dup group
+        before = len(switch.members_of(group))
+        yield from env.comm.barrier()     # nobody frees before sampling
+        dup.free()
+        yield env.sim.timeout(SETTLE_US)  # leaves reach the switch
+        after = switch.members_of(group)
+        return out, before, sorted(after)
+
+    result = run_spmd(4, main, params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    for out, before, after in result.returns:
+        assert out == b"d"
+        assert before == 4      # every member port was snooped
+        assert after == []      # every leave was snooped too
+
+
+def test_free_after_split_shrinks_both_halves():
+    def main(env):
+        half = yield from env.comm.split(env.rank // 2, key=env.rank)
+        out = yield from half.bcast(
+            half.rank if half.rank == 0 else None, 0)
+        group = half.mcast.group
+        switch = env.comm.world.cluster.switch
+        yield from env.comm.barrier()
+        before = len(switch.members_of(group))
+        yield from env.comm.barrier()     # nobody frees before sampling
+        half.free()
+        yield env.sim.timeout(SETTLE_US)
+        after = len(switch.members_of(group))
+        # the world group must be untouched by subcomm teardown
+        world_members = len(switch.members_of(env.comm.mcast.group))
+        yield from env.comm.barrier()     # world still fully usable
+        return out, before, after, world_members
+
+    result = run_spmd(4, main, params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    assert result.returns == [(0, 2, 0, 4)] * 4
+
+
+def test_freed_group_entry_forwards_no_frames():
+    """The switch keeps a registered-but-empty entry for a freed group:
+    a stray frame to it must be dropped, not flooded to anyone."""
+    def main(env):
+        dup = yield from env.comm.dup()
+        yield from dup.bcast(b"x" if env.rank == 0 else None, 0)
+        group, port = dup.mcast.group, dup.mcast.data_port
+        yield from env.comm.barrier()
+        dup.free()
+        yield env.sim.timeout(SETTLE_US)
+        stats = env.host.stats
+        if env.rank == 1:
+            # blast the freed group from a fresh socket
+            before = stats.snapshot()
+            sock = env.host.socket()
+            yield from sock.sendto(b"stale", 64, group, port,
+                                   kind="stale")
+            yield env.sim.timeout(SETTLE_US)
+            diff = stats.diff(before)
+            sock.close()
+            # the frame went up our link and died at the switch:
+            # no forwards, no deliveries, no flood
+            return (diff["frames_by_kind"].get("stale", 0),
+                    diff["frames_forwarded"], diff["frames_delivered"])
+        yield env.sim.timeout(2 * SETTLE_US)
+        return None
+
+    result = run_spmd(3, main, params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    assert result.returns[1] == (1, 0, 0)
+
+
+def test_free_is_idempotent_and_world_survives():
+    def main(env):
+        dup = yield from env.comm.dup()
+        yield from dup.barrier()
+        dup.free()
+        dup.free()                       # second free is a no-op
+        out = yield from env.comm.bcast(
+            "still-alive" if env.rank == 2 else None, 2)
+        return out
+
+    result = run_spmd(3, main, params=QUIET)
+    assert result.returns == ["still-alive"] * 3
+
+
+def test_free_on_tree_fabric_shrinks_core_and_leaves():
+    """Leaves propagate across trunks: the core's and the remote leaf's
+    member sets must shrink along with the local leaf's."""
+    def main(env):
+        dup = yield from env.comm.dup()
+        yield from dup.bcast(b"t" if env.rank == 0 else None, 0)
+        group = dup.mcast.group
+        fabric = env.comm.world.cluster.fabric
+        yield from env.comm.barrier()
+        before = (len(fabric.core.members_of(group)),
+                  len(fabric.leaves[0].members_of(group)),
+                  len(fabric.leaves[1].members_of(group)))
+        yield from env.comm.barrier()     # nobody frees before sampling
+        dup.free()
+        yield env.sim.timeout(2 * SETTLE_US)
+        after = (len(fabric.core.members_of(group)),
+                 len(fabric.leaves[0].members_of(group)),
+                 len(fabric.leaves[1].members_of(group)))
+        return before, after
+
+    result = run_spmd(4, main, topology="tree:2x2", params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    for before, after in result.returns:
+        # core: both trunks; leaf: 2 hosts + trunk (remote interest)
+        assert before == (2, 3, 3)
+        assert after == (0, 0, 0)

@@ -60,6 +60,19 @@ def test_parallel_jacobi_runs():
     assert "numerics identical" in proc.stdout
 
 
+def test_hier_cluster_runs():
+    proc = _run("hier_cluster.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "2 segments" in proc.stdout
+    assert "leader: rank 4" in proc.stdout
+    # the example prints flat-vs-hier per-call trunk frames; the
+    # hierarchy must win (same claim the fabric bench asserts)
+    lines = [ln.split() for ln in proc.stdout.splitlines()
+             if "mcast-seg-nack" in ln or "hier-mcast" in ln]
+    counts = {name: int(n) for name, n, *_rest in lines}
+    assert counts["hier-mcast"] < counts["mcast-seg-nack"]
+
+
 @pytest.mark.realnet
 def test_real_multicast_runs():
     proc = _run("real_multicast.py")

@@ -95,7 +95,7 @@ def test_unpaced_with_one_descriptor_overruns():
     """The paper's §5 fear, realized: N-1 simultaneous senders vs a
     single receive descriptor loses datagrams."""
     lost, stats = _unpaced(8, descriptors=1)
-    assert any(l > 0 for l in lost)
+    assert any(n > 0 for n in lost)
     assert stats["drops_not_posted"] > 0
 
 

@@ -361,3 +361,79 @@ def test_reduction_collectives_interleave_on_one_channel():
     result = run_spmd(4, main, params=AUTO)
     assert result.returns == [True] * 4
     result.verify_safe_schedules()
+
+
+# ---------------------------------------------------------------- gather
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+@pytest.mark.parametrize("root", [0, 1])
+def test_seg_gather_correct_lossless(n, root):
+    if root >= n:
+        pytest.skip("root out of range")
+
+    def main(env):
+        env.comm.use_collectives(gather="mcast-seg-root-follow")
+        out = yield from env.comm.gather(bytes([env.rank]) * 4000, root)
+        if env.rank == root:
+            return out == [bytes([r]) * 4000 for r in range(env.size)]
+        return out is None
+
+    result = run_spmd(n, main, params=AUTO)
+    assert result.returns == [True] * n
+
+
+def test_seg_gather_matches_p2p_payload_frames():
+    """Many-to-one: the turn-based gather must not exceed the binomial
+    tree's payload frame count (the engine's reliability is free in
+    frames, like the segmented reduce)."""
+    nbytes = 20_000
+
+    def run(impl):
+        def main(env):
+            env.comm.use_collectives(gather=impl)
+            out = yield from env.comm.gather(bytes(nbytes), 0)
+            return out is None or len(out) == env.size
+        result = run_spmd(4, main, params=AUTO)
+        assert all(result.returns)
+        return result.stats["frames_by_kind"]
+
+    seg = run("mcast-seg-root-follow").get("mcast-seg", 0)
+    p2p_kinds = run("p2p-binomial")
+    assert seg <= p2p_kinds.get("p2p", 0)
+
+
+def test_seg_gather_repairs_loss_at_the_root():
+    """Only the root consumes: induced first-copy loss there is repaired
+    selectively, and bystander loss costs nothing."""
+    nsegs = len(plan_segments(20_000, QUIET.segment_bytes))
+
+    def main(env):
+        env.comm.use_collectives(gather="mcast-seg-root-follow")
+        if env.rank == 0:
+            env.comm.mcast.data_sock.drop_filter = drop_first_copy_of(
+                {0, 5})
+        out = yield from env.comm.gather(bytes([env.rank]) * 20_000, 0)
+        if env.rank == 0:
+            return out == [bytes([r]) * 20_000 for r in range(env.size)]
+        return out is None
+
+    result = run_spmd(4, main, params=QUIET)
+    assert result.returns == [True] * 4
+    # two lost segments per contributing turn, re-multicast exactly once
+    assert result.stats["retransmissions"] == 3 * 2
+    assert (result.stats["frames_by_kind"]["mcast-seg"]
+            == 3 * (nsegs + 2))
+
+
+def test_seg_gather_interleaves_with_reduce_on_one_channel():
+    def main(env):
+        env.comm.use_collectives(gather="mcast-seg-root-follow",
+                                 reduce="mcast-seg-combine")
+        got = yield from env.comm.gather(str(env.rank), 1)
+        folded = yield from env.comm.reduce(str(env.rank), CONCAT, 1)
+        if env.rank == 1:
+            return got == [str(r) for r in range(env.size)], folded
+        return got is None, folded
+
+    result = run_spmd(5, main, params=AUTO)
+    assert result.returns[1] == (True, "01234")
+    result.verify_safe_schedules()

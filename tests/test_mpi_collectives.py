@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import MAX, MAXLOC, MIN, PROD, SUM
+from repro.mpi import MAX, MAXLOC, MIN, Op, PROD, SUM
 from repro.mpi.collective.barrier_p2p import (barrier_message_count,
                                               largest_power_of_two_leq)
 from repro.mpi.collective.bcast_p2p import (binomial_children,
@@ -128,6 +128,39 @@ def test_reduce_respects_operand_order():
 
     result = run_spmd(6, main, params=QUIET)
     assert result.returns[0] == "012345"
+
+
+def test_reduce_non_commutative_nonzero_root_canonical_order():
+    """Regression (ROADMAP PR 3 follow-up): the binomial tree rooted at
+    a nonzero rank folded operands in *root-relative* order, so a
+    non-commutative op at root=2 on 6 ranks produced "234501".  MPI
+    requires canonical absolute-rank order; the fixed tree reduces to
+    rank 0 and forwards, like MPICH."""
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def main(env):
+        out = yield from env.comm.reduce(str(env.rank), concat, root=2)
+        return out
+
+    result = run_spmd(6, main, params=QUIET)
+    assert result.returns[2] == "012345"
+    assert all(r is None for i, r in enumerate(result.returns) if i != 2)
+
+
+def test_reduce_non_commutative_matches_seg_combine_at_nonzero_root():
+    """The p2p tree and the segmented multicast reduce must agree on
+    operand order for non-commutative ops at any root."""
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def main(env):
+        env.comm.use_collectives(reduce="mcast-seg-combine")
+        seg = yield from env.comm.reduce(str(env.rank), concat, root=3)
+        env.comm.use_collectives(reduce="p2p-binomial")
+        p2p = yield from env.comm.reduce(str(env.rank), concat, root=3)
+        return seg, p2p
+
+    result = run_spmd(5, main, params=QUIET)
+    assert result.returns[3] == ("01234", "01234")
 
 
 @pytest.mark.parametrize("op,expect", [
