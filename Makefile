@@ -1,16 +1,19 @@
 # Developer entry points.  `make smoke` is the CI gate: tier-1 tests plus
-# a tiny segmented-broadcast benchmark invocation, so the benchmark entry
-# points cannot silently rot.
+# tiny benchmark invocations, so the benchmark entry points cannot
+# silently rot.  `make docs-check` is the docs gate: the generated
+# docs/collectives.md must be current and every relative Markdown link
+# under README.md / docs/ must resolve.
 #
 # CI: .github/workflows/ci.yml runs `make smoke` on every push and PR
-# across Python 3.10-3.12 (uploading benchmarks/results/ as an artifact)
-# and `make lint` as a separate job.  Locally, `make lint` needs ruff on
-# PATH (pip install ruff) and skips with a notice otherwise — CI always
-# installs it, so lint failures cannot slip through.
+# across Python 3.10-3.12 (uploading benchmarks/results/ as an artifact),
+# plus `make lint` and `make docs-check` as separate jobs.  Locally,
+# `make lint` needs ruff on PATH (pip install ruff) and skips with a
+# notice otherwise — CI always installs it, so lint failures cannot slip
+# through.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint bench-segmented
+.PHONY: test smoke lint bench-segmented docs docs-check
 
 test:
 	$(PY) -m pytest -x -q
@@ -19,7 +22,8 @@ smoke: test
 	REPRO_SEG_SMOKE=1 REPRO_BENCH_REPS=3 $(PY) -m pytest -q \
 		benchmarks/bench_segmented_bcast.py \
 		benchmarks/bench_segmented_reduce.py \
-		benchmarks/bench_fabric_scaling.py
+		benchmarks/bench_fabric_scaling.py \
+		benchmarks/bench_deep_fabric.py
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -30,3 +34,13 @@ lint:
 
 bench-segmented:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py
+
+# Regenerate the derived docs (the collective registry reference).
+docs:
+	$(PY) -m repro.bench.cli registry-doc
+
+# The docs gate CI runs: the generated reference must be current and
+# every relative Markdown link in README.md / docs/ must resolve.
+docs-check:
+	$(PY) -m repro.bench.cli registry-doc --check
+	$(PY) scripts/check_links.py README.md docs

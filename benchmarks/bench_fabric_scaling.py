@@ -10,7 +10,7 @@ switches behind a core, :mod:`repro.simnet.fabric`):
    every remote receiver pays the trunk for its reports, decisions and
    scouts.  Loss-free counts must match the closed forms in
    :mod:`repro.analysis.framecount`
-   (``model_seg_bcast_trunk_frames`` / ``model_hier_bcast_frames``)
+   (``model_seg_bcast_trunk_frames`` / ``model_hier_frames``)
    exactly.  The hierarchical reduce widens the gap dramatically: the
    flat turn loop crosses every trunk with every contributor's stream.
 2. **auto is model-consistent** — with topology and expected loss
@@ -35,7 +35,7 @@ from dataclasses import replace
 from _common import REPS, SEED, RESULTS_DIR
 
 from repro import run_spmd
-from repro.analysis.framecount import (model_hier_bcast_frames,
+from repro.analysis.framecount import (model_hier_frames,
                                        model_seg_bcast_trunk_frames)
 from repro.core.segment import plan_transport
 from repro.mpi.collective.policy import (TopoInfo, auto_impl,
@@ -93,8 +93,8 @@ def check_trunk_claim():
             f"{hier} times, the flat engine only {flat}")
         assert flat == model_seg_bcast_trunk_frames(TOPO.seg_of_rank, 0,
                                                     nsegs)
-        assert hier == model_hier_bcast_frames(TOPO.seg_sizes, 0,
-                                               nsegs)[1]
+        assert hier == model_hier_frames("bcast", TOPO.seg_of_rank, 0,
+                                         size, QUIET_AUTO)[1]
         rows.append((size, nsegs, flat, hier))
     return rows
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs gate (``make docs-check``).
+
+Walks the Markdown files/directories given on the command line,
+extracts inline links (``[text](target)``), and verifies every
+*relative* target resolves to an existing file or directory (anchors
+are stripped; ``http(s)://`` and ``mailto:`` targets are only
+format-checked, never fetched — CI must not depend on the network).
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link
+is reported on stderr).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(paths: list[str]):
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors = []
+    text = path.read_text()
+    # fenced code blocks may hold example markdown — skip them
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py <file-or-dir>...", file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for md in iter_markdown(argv):
+        checked += 1
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} markdown file(s), "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

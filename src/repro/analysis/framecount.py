@@ -26,9 +26,10 @@ __all__ = [
     "model_p2p_tree_frames", "model_seg_reduce_frames",
     "model_seg_allreduce_frames", "model_seg_scatter_frames",
     "expected_seg_repair_frames", "binomial_cross_edges",
+    "binomial_tree_trunk_hops", "multicast_trunk_edges",
     "model_p2p_tree_trunk_frames", "model_seg_bcast_trunk_frames",
-    "model_seg_reduce_trunk_frames", "model_hier_bcast_frames",
-    "model_hier_reduce_frames",
+    "model_seg_reduce_trunk_frames", "model_seg_scatter_trunk_frames",
+    "model_seg_allgather_trunk_frames", "model_hier_frames",
 ]
 
 
@@ -149,44 +150,91 @@ def model_seg_scatter_frames(n: int, seg_counts) -> int:
 # loss expectation (PR 4: fold NetParams.loss into the auto estimates)
 # ---------------------------------------------------------------------------
 def expected_seg_repair_frames(n: int, nsegs: int, loss: float,
-                               max_rounds: int = 8) -> float:
+                               max_rounds: int = 8,
+                               receivers: "int | None" = None) -> float:
     """Expected extra frames of one engine stream's NACK repair loop at
-    per-round data-frame loss probability ``loss``.
+    per-receiver data-frame loss probability ``loss``.
 
-    Repair round ``r`` re-multicasts about ``S * loss**r`` segments (the
-    survivors of round r-1's losses) and pays the per-round control
-    sweep — arming scouts, reports, decisions: ``3(N-1)`` frames.  The
-    sum runs while a round is still *expected* to happen (at least half
-    a segment outstanding), so a lossless stream costs nothing and a
-    10%-lossy 100-segment stream adds roughly one repair round of ~10
-    segments plus control.  This is the term the auto policy adds to
-    every segmented-multicast estimate; the p2p trees ride the
-    simulator's reliable unicast path and carry no such term.
+    The root repairs the **union** of its receivers' missing sets, so
+    with ``R`` receivers each segment lands in round ``r``'s plan with
+    probability about ``u**r`` where ``u = 1 - (1-loss)**R`` — repair
+    round ``r`` re-multicasts about ``S * u**r`` segments and pays the
+    per-round control sweep (arming scouts, reports, decisions:
+    ``3(N-1)`` frames).  ``receivers`` defaults to ``n - 1`` (the
+    broadcast case: every non-root posts for the data); streams with a
+    single consuming receiver — the reduce/gather turn loops, where
+    bystanders post nothing and report empty — pass ``receivers=1``.
+    The sum runs while a round is still *expected* to happen (at least
+    half a segment outstanding), so a lossless stream costs nothing.
+    This is the term the auto policy adds to every segmented-multicast
+    estimate; the p2p trees ride the simulator's reliable unicast path
+    and carry no such term.  ``benchmarks/bench_deep_fabric.py`` checks
+    the measured repair traffic of a really-lossy run
+    (``NetParams.loss`` wired to seeded drops) against this
+    expectation.
     """
     if n < 2 or nsegs < 1 or loss <= 0.0:
         return 0.0
-    loss = min(loss, 0.99)
+    if receivers is None:
+        receivers = n - 1
+    union = 1.0 - (1.0 - min(loss, 0.99)) ** max(receivers, 1)
+    union = min(union, 0.99)
     extra = 0.0
-    expect = nsegs * loss
+    expect = nsegs * union
     rounds = 0
     while expect >= 0.5 and rounds < max_rounds:
         extra += expect + 3 * (n - 1)
-        expect *= loss
+        expect *= union
         rounds += 1
     return extra
 
 
 # ---------------------------------------------------------------------------
-# tiered-fabric trunk accounting (PR 4: multi-segment topologies)
+# tiered-fabric trunk accounting (PR 4 two-tier; PR 5 recursive trees)
 # ---------------------------------------------------------------------------
 # The models below count *trunk serializations* — every time a frame is
-# re-serialized on a switch-to-switch link of a two-tier fabric
-# (``NetStats.frames_trunk``).  A multicast frame that must reach every
-# one of K occupied segments crosses K trunks (one up from the sender's
-# leaf, K-1 down); a unicast between different segments crosses 2.
-# One-time channel-setup IGMP traffic is excluded: these are per-call,
+# re-serialized on a switch-to-switch link of a tiered fabric
+# (``NetStats.frames_trunk``).  ``paths`` maps each dense segment id to
+# its switch-tree path (:meth:`~repro.simnet.topology.Cluster.
+# segment_path`); ``None`` keeps PR 4's two-tier geometry, where every
+# segment hangs directly off the core: a multicast frame reaching K
+# occupied segments crosses K trunks, a cross-segment unicast crosses 2.
+# On deeper trees a multicast frame crosses every edge of the switch
+# subtree spanning the interested segments once, and a unicast pays the
+# up-over-down path between its endpoints' leaves.  One-time
+# channel-setup IGMP traffic is excluded: these are per-call,
 # steady-state counts, and the benches compare snapshots around a single
 # collective.
+
+def _seg_paths(seg_of_rank, paths):
+    """Resolve ``paths`` (two-tier default: segment s at path (s,))."""
+    if paths is not None:
+        return paths
+    return tuple((s,) for s in range(max(seg_of_rank) + 1))
+
+
+def multicast_trunk_edges(root_seg: int, segs, paths) -> int:
+    """Trunk edges a multicast frame from ``root_seg`` serializes on to
+    reach every segment in ``segs``: the edges of the switch subtree
+    spanning the union of root-to-segment paths (K on a two-tier
+    fabric with K occupied segments, if any is remote)."""
+    edges: set[tuple] = set()
+    pa = paths[root_seg]
+    for seg in set(segs):
+        if seg == root_seg:
+            continue
+        pb = paths[seg]
+        common = 0
+        for a, b in zip(pa, pb):
+            if a != b:
+                break
+            common += 1
+        for i in range(common + 1, len(pa) + 1):
+            edges.add(pa[:i])
+        for i in range(common + 1, len(pb) + 1):
+            edges.add(pb[:i])
+    return len(edges)
+
 
 def binomial_cross_edges(seg_of_rank, root: int) -> int:
     """Edges of the binomial gather/broadcast tree rooted at ``root``
@@ -206,88 +254,282 @@ def binomial_cross_edges(seg_of_rank, root: int) -> int:
     return cross
 
 
+def binomial_tree_trunk_hops(seg_of_rank, root: int,
+                             paths=None) -> int:
+    """Total trunk hops of the binomial tree's edges rooted at
+    ``root``: each edge pays the switch-tree distance between its
+    endpoints' segments (2 per cross edge on a two-tier fabric —
+    the generalization of :func:`binomial_cross_edges`)."""
+    from ..simnet.fabric import path_trunk_hops
+
+    paths = _seg_paths(seg_of_rank, paths)
+    size = len(seg_of_rank)
+    total = 0
+    for rel in range(1, size):
+        mask = 1
+        while not rel & mask:
+            mask <<= 1
+        parent_rel = rel & ~mask
+        child = (rel + root) % size
+        parent = (parent_rel + root) % size
+        total += path_trunk_hops(paths[seg_of_rank[child]],
+                                 paths[seg_of_rank[parent]])
+    return total
+
+
 def model_p2p_tree_trunk_frames(params: NetParams, seg_of_rank,
-                                root: int, m: int) -> int:
+                                root: int, m: int, paths=None) -> int:
     """Trunk serializations of a binomial tree moving an ``m``-byte
     payload across every edge once (p2p bcast/reduce): each
-    cross-segment edge pays two trunk hops per payload frame."""
+    cross-segment edge pays its trunk-path hops per payload frame."""
     per_msg = params.frames_for(m + params.mpi_header)
-    return 2 * binomial_cross_edges(seg_of_rank, root) * per_msg
+    return binomial_tree_trunk_hops(seg_of_rank, root, paths) * per_msg
 
 
-def _mcast_stream_trunk_frames(seg_of_rank, root: int,
-                               nsegs: int) -> int:
+def _mcast_stream_trunk_frames(seg_of_rank, root: int, nsegs: int,
+                               paths=None) -> int:
     """Trunk serializations of ONE loss-free engine stream (header +
     ``nsegs`` data frames + one round of control) rooted at ``root`` on
-    a fabric: data crosses every occupied segment's trunk once, the two
-    scout gathers pay their cross edges, and each remote receiver's
-    report and decision pay a round trip."""
-    k = len(set(seg_of_rank))
-    if k <= 1:
+    a fabric: data crosses every edge of the switch subtree spanning
+    the occupied segments once, the two scout gathers pay their edges'
+    trunk paths, and each remote receiver's report and decision pay the
+    receiver-root path each way."""
+    from ..simnet.fabric import path_trunk_hops
+
+    if len(set(seg_of_rank)) <= 1:
         return 0
-    remote = sum(1 for s in seg_of_rank if s != seg_of_rank[root])
-    cross = binomial_cross_edges(seg_of_rank, root)
-    return ((1 + nsegs) * k     # header + data, once per occupied segment
-            + 2 * (2 * cross)   # header-phase + arming scout gathers
-            + 2 * (2 * remote))  # reports + decisions, root round trips
+    paths = _seg_paths(seg_of_rank, paths)
+    root_seg = seg_of_rank[root]
+    data_edges = multicast_trunk_edges(root_seg, seg_of_rank, paths)
+    gathers = binomial_tree_trunk_hops(seg_of_rank, root, paths)
+    round_trips = sum(path_trunk_hops(paths[s], paths[root_seg])
+                     for i, s in enumerate(seg_of_rank) if i != root)
+    return ((1 + nsegs) * data_edges  # header + data, once per edge
+            + 2 * gathers             # header-phase + arming gathers
+            + 2 * round_trips)        # reports + decisions
 
 
-def model_seg_bcast_trunk_frames(seg_of_rank, root: int,
-                                 nsegs: int) -> int:
+def model_seg_bcast_trunk_frames(seg_of_rank, root: int, nsegs: int,
+                                 paths=None) -> int:
     """Loss-free trunk serializations of the flat ``mcast-seg-nack``
     broadcast on a tiered fabric (exact; asserted by
-    ``benchmarks/bench_fabric_scaling.py``)."""
-    return _mcast_stream_trunk_frames(seg_of_rank, root, nsegs)
+    ``benchmarks/bench_fabric_scaling.py`` and
+    ``benchmarks/bench_deep_fabric.py``)."""
+    return _mcast_stream_trunk_frames(seg_of_rank, root, nsegs, paths)
 
 
-def model_seg_reduce_trunk_frames(seg_of_rank, root: int,
-                                  nsegs: int) -> int:
+def model_seg_reduce_trunk_frames(seg_of_rank, root: int, nsegs: int,
+                                  paths=None) -> int:
     """Loss-free trunk serializations of the flat ``mcast-seg-combine``
-    reduce: one engine stream per non-root contributor, each rooted at
-    its turn's sender (every stream's data still crosses every occupied
-    trunk — all members joined the group)."""
+    reduce (and of the ``mcast-seg-root-follow`` gather, which runs the
+    same turn loop): one engine stream per non-root contributor, each
+    rooted at its turn's sender (every stream's data still crosses
+    every occupied trunk edge — all members joined the group)."""
     size = len(seg_of_rank)
-    return sum(_mcast_stream_trunk_frames(seg_of_rank, turn, nsegs)
+    return sum(_mcast_stream_trunk_frames(seg_of_rank, turn, nsegs,
+                                          paths)
                for turn in range(size) if turn != root)
 
 
-def _hier_phases(seg_sizes, root_seg: int):
-    """(intra-root-segment size, leader count, other segment sizes)."""
-    k = len(seg_sizes)
-    others = [sz for s, sz in enumerate(seg_sizes) if s != root_seg]
-    return seg_sizes[root_seg], k, others
+def model_seg_scatter_trunk_frames(seg_of_rank, root: int, nsegs: int,
+                                   paths=None) -> int:
+    """Loss-free trunk serializations of the flat ``mcast-seg-root``
+    scatter: one engine stream of all ``nsegs`` per-rank-addressed
+    segments (exact — the per-rank ``needed`` subsets change what
+    receivers reassemble, not what crosses the wire)."""
+    return _mcast_stream_trunk_frames(seg_of_rank, root, nsegs, paths)
 
 
-def model_hier_bcast_frames(seg_sizes, root_seg: int,
-                            nsegs: int) -> tuple[int, int]:
-    """Loss-free (host frames, trunk serializations) of the
-    ``hier-mcast`` broadcast: root's segment stream + the leaders'
-    stream + one stream per other segment.  Only the leaders' phase
-    touches the trunks: K leaders occupy K distinct segments, so its
-    data crosses K trunks per frame and its control is K-1 leader round
-    trips (exact; asserted by the fabric bench)."""
+def model_seg_allgather_trunk_frames(seg_of_rank, nsegs: int,
+                                     paths=None) -> int:
+    """Loss-free trunk serializations of the flat ``mcast-seg-paced``
+    allgather: the rank-0-anchored ready round (scout gather up, one
+    "go" unicast per rank back down) plus one engine stream per rank,
+    each rooted at its turn's sender."""
+    from ..simnet.fabric import path_trunk_hops
+
+    if len(set(seg_of_rank)) <= 1:
+        return 0
+    paths = _seg_paths(seg_of_rank, paths)
+    ready = (binomial_tree_trunk_hops(seg_of_rank, 0, paths)
+             + sum(path_trunk_hops(paths[s], paths[seg_of_rank[0]])
+                   for i, s in enumerate(seg_of_rank) if i != 0))
+    return ready + sum(
+        _mcast_stream_trunk_frames(seg_of_rank, turn, nsegs, paths)
+        for turn in range(len(seg_of_rank)))
+
+
+# ---------------------------------------------------------------------------
+# recursive hierarchy models (PR 5: phase-walking, any tree depth —
+# superseding PR 4's two-tier closed forms, which the phase walk
+# reproduces bit-for-bit on two-tier fabrics)
+# ---------------------------------------------------------------------------
+def _phase_stream(seg_of_rank, phase, turn: int, nsegs: int, paths,
+                  loss: float,
+                  receivers: "int | None" = None) -> tuple[float, int]:
+    """(host frames incl. expected repairs, trunk serializations) of one
+    engine stream of ``nsegs`` segments served by comm rank ``turn``
+    inside ``phase``'s group (``receivers=1`` for single-consumer
+    turn-loop streams, default every other member)."""
     from ..core.segment import seg_nack_frame_count
 
-    root_sz, k, others = _hier_phases(seg_sizes, root_seg)
-    frames = (seg_nack_frame_count(root_sz, nsegs)
-              + seg_nack_frame_count(k, nsegs)
-              + sum(seg_nack_frame_count(sz, nsegs) for sz in others))
-    # leaders phase: one stream over K leaders, one per distinct segment
-    trunk = _mcast_stream_trunk_frames(tuple(range(k)), 0, nsegs)
+    members = phase.members
+    frames = (seg_nack_frame_count(len(members), nsegs)
+              + expected_seg_repair_frames(len(members), nsegs, loss,
+                                           receivers=receivers))
+    segs = tuple(seg_of_rank[m] for m in members)
+    trunk = _mcast_stream_trunk_frames(segs, members.index(turn), nsegs,
+                                       paths)
     return frames, trunk
 
 
-def model_hier_reduce_frames(seg_sizes, root_seg: int,
-                             nsegs: int) -> tuple[int, int]:
-    """Loss-free (host frames, trunk serializations) of the
-    ``hier-mcast`` reduce: per-segment reduces to the leaders, then a
-    leaders' reduce across the trunk (K-1 contributor streams, each
-    crossing every trunk)."""
-    root_sz, k, others = _hier_phases(seg_sizes, root_seg)
-    frames = (model_seg_reduce_frames(root_sz, nsegs)
-              + model_seg_reduce_frames(k, nsegs)
-              + sum(model_seg_reduce_frames(sz, nsegs) for sz in others))
-    # leaders phase: K-1 contributor streams over the K leaders
-    trunk = (k - 1) * _mcast_stream_trunk_frames(tuple(range(k)), 0,
-                                                 nsegs)
-    return frames, trunk
+def model_hier_frames(op: str, seg_of_rank, root: int, nbytes: int,
+                      params: NetParams, paths=None,
+                      loss: float = 0.0) -> tuple[float, float]:
+    """(host frames, trunk serializations) of one ``hier-mcast`` call
+    on an arbitrary-depth hierarchy, by walking the *same* phase plans
+    the implementation executes (:mod:`repro.mpi.collective.hier`), so
+    model and behaviour cannot drift.
+
+    Loss-free (``loss=0``) the ``bcast`` and ``reduce`` counts are
+    **exact** — every phase streams the same payload — and asserted
+    against ``NetStats.frames_trunk`` by
+    ``benchmarks/bench_deep_fabric.py``.  The ``scatter`` / ``gather``
+    / ``allgather`` counts approximate per-phase bundle sizes by their
+    member payload shares (the wire carries pickled bundle objects
+    whose envelope the closed form ignores), so they are
+    estimate-grade: good enough to rank candidates in the auto policy,
+    checked by the bench only for the strict hier-below-flat
+    inequality.  With ``loss > 0`` every phase additionally carries its
+    expected NACK-repair traffic — repairs stay inside the losing
+    phase's switch subtree, which is most of the hierarchy's win on
+    lossy fabrics.
+    """
+    from ..core.segment import plan_transport
+    from ..mpi.collective.hier import (allgather_phases, bcast_phases,
+                                       build_hier_tree, scatter_phases,
+                                       up_phases)
+    from ..simnet.fabric import path_trunk_hops
+
+    size = len(seg_of_rank)
+    if size < 2 or len(set(seg_of_rank)) < 2:
+        return (0.0, 0.0)
+    tree = build_hier_tree(seg_of_rank, paths)
+    rpaths = _seg_paths(seg_of_rank, paths)
+    frames = 0.0
+    trunk = 0.0
+
+    def nsegs_of(payload_bytes: int) -> int:
+        return plan_transport(max(payload_bytes, 0), params).nsegs
+
+    def p2p_hop(src: int, dst: int, payload_bytes: int):
+        nonlocal frames, trunk
+        per = params.frames_for(payload_bytes + params.mpi_header)
+        frames += per
+        trunk += per * path_trunk_hops(rpaths[seg_of_rank[src]],
+                                       rpaths[seg_of_rank[dst]])
+
+    if op == "bcast":
+        nsegs = nsegs_of(nbytes)
+        for phase in bcast_phases(tree, root):
+            f, t = _phase_stream(seg_of_rank, phase, phase.root, nsegs,
+                                 paths, loss)
+            frames, trunk = frames + f, trunk + t
+        return frames, trunk
+    if op == "reduce":
+        nsegs = nsegs_of(nbytes)
+        phases, holder = up_phases(tree, root)
+        for phase in phases:
+            for turn in phase.members:
+                if turn == phase.root:
+                    continue
+                f, t = _phase_stream(seg_of_rank, phase, turn, nsegs,
+                                     paths, loss, receivers=1)
+                frames, trunk = frames + f, trunk + t
+        if holder != root:
+            p2p_hop(holder, root, nbytes)
+        return frames, trunk
+    if op == "allreduce":
+        f1, t1 = model_hier_frames("reduce", seg_of_rank, 0, nbytes,
+                                   params, paths, loss)
+        f2, t2 = model_hier_frames("bcast", seg_of_rank, 0, nbytes,
+                                   params, paths, loss)
+        return f1 + f2, t1 + t2
+
+    def subtree_sizes(phase) -> dict[int, int]:
+        """member rank -> ranks its bundle covers (its child subtree,
+        or itself on a leaf phase)."""
+        if phase.node.is_leaf:
+            return {m: 1 for m in phase.members}
+        out = {}
+        for member in phase.members:
+            for child in phase.node.children:
+                if member in child.members:
+                    out[member] = len(child.members)
+                    break
+        return out
+
+    if op == "scatter":
+        share = -(-nbytes // size)
+        plan = scatter_phases(tree, root)
+        if plan.root_leaf is not None:
+            nsegs = nsegs_of(share * (len(plan.root_leaf.members) - 1))
+            f, t = _phase_stream(seg_of_rank, plan.root_leaf, root,
+                                 nsegs, paths, loss)
+            frames, trunk = frames + f, trunk + t
+        root_leaf_members = {m for m in range(size)
+                             if seg_of_rank[m] == seg_of_rank[root]}
+        outside = size - len(root_leaf_members)
+        if plan.hoist is not None:
+            p2p_hop(plan.hoist[0], plan.hoist[1], share * outside)
+        for phase in plan.internals:
+            sizes = subtree_sizes(phase)
+            bundle = sum(share * sizes[m] for m in phase.members
+                         if m != phase.root)
+            f, t = _phase_stream(seg_of_rank, phase, phase.root,
+                                 nsegs_of(bundle), paths, loss)
+            frames, trunk = frames + f, trunk + t
+        for phase in plan.leaves:
+            nsegs = nsegs_of(share * (len(phase.members) - 1))
+            f, t = _phase_stream(seg_of_rank, phase, phase.root, nsegs,
+                                 paths, loss)
+            frames, trunk = frames + f, trunk + t
+        return frames, trunk
+    if op == "gather":
+        phases, holder = up_phases(tree, root)
+        for phase in phases:
+            sizes = subtree_sizes(phase)
+            for turn in phase.members:
+                if turn == phase.root:
+                    continue
+                f, t = _phase_stream(seg_of_rank, phase, turn,
+                                     nsegs_of(nbytes * sizes[turn]),
+                                     paths, loss, receivers=1)
+                frames, trunk = frames + f, trunk + t
+        if holder != root:
+            p2p_hop(holder, root, nbytes * size)
+        return frames, trunk
+    if op == "allgather":
+        plan = allgather_phases(tree)
+        for phase in plan.up:
+            sizes = subtree_sizes(phase)
+            frames += 2 * (len(phase.members) - 1)   # paced ready round
+            segs = tuple(seg_of_rank[m] for m in phase.members)
+            anchor = phase.members[0]
+            trunk += (binomial_tree_trunk_hops(segs, 0, rpaths)
+                      + sum(path_trunk_hops(rpaths[seg_of_rank[m]],
+                                            rpaths[seg_of_rank[anchor]])
+                            for m in phase.members[1:]))
+            for turn in phase.members:
+                f, t = _phase_stream(seg_of_rank, phase, turn,
+                                     nsegs_of(nbytes * sizes[turn]),
+                                     paths, loss)
+                frames, trunk = frames + f, trunk + t
+        full = nsegs_of(nbytes * size)
+        for phase in plan.down:
+            f, t = _phase_stream(seg_of_rank, phase, phase.root, full,
+                                 paths, loss)
+            frames, trunk = frames + f, trunk + t
+        return frames, trunk
+    raise KeyError(f"no hierarchical frame model for collective "
+                   f"{op!r}")

@@ -8,11 +8,17 @@ Beyond the paper's figures the registry carries this repo's extension
 sweeps — ``ablation`` (reliability schemes) and ``segcoll`` (the PR 3
 segmented reduce/allreduce vs their p2p defaults vs the payload-aware
 ``"auto"`` policy).
+
+The docs generator rides the same entry point::
+
+    python -m repro.bench.cli registry-doc            # write docs/collectives.md
+    python -m repro.bench.cli registry-doc --check    # exit 1 if stale
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from .figures import FIGURES, run_figure
@@ -54,11 +60,34 @@ def _render_figure(figure_id: str, reps: int, seed: int,
     return "\n".join(out)
 
 
+def _registry_doc_cmd(output: str, check: bool) -> int:
+    from .registry_doc import collective_registry_doc, default_doc_path
+
+    path = pathlib.Path(output) if output else default_doc_path()
+    fresh = collective_registry_doc()
+    if check:
+        current = path.read_text() if path.exists() else ""
+        if current != fresh:
+            print(f"{path} is stale — regenerate with "
+                  f"'python -m repro.bench.cli registry-doc'",
+                  file=sys.stderr)
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(fresh)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate figures from 'MPI Collective Operations "
                     "over IP Multicast' (IPPS 2000) on the simulator.")
+    parser.add_argument("command", nargs="?", choices=["registry-doc"],
+                        help="registry-doc: (re)generate the "
+                             "docs/collectives.md reference")
     parser.add_argument("--figure", choices=sorted(FIGURES),
                         help="which figure/table to regenerate")
     parser.add_argument("--all", action="store_true",
@@ -68,10 +97,18 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--markdown", action="store_true",
                         help="emit Markdown tables (for EXPERIMENTS.md)")
+    parser.add_argument("--check", action="store_true",
+                        help="registry-doc: fail if the doc is stale "
+                             "instead of rewriting it")
+    parser.add_argument("--output", default=None,
+                        help="registry-doc: target path (default "
+                             "docs/collectives.md)")
     args = parser.parse_args(argv)
 
+    if args.command == "registry-doc":
+        return _registry_doc_cmd(args.output, args.check)
     if not args.figure and not args.all:
-        parser.error("pass --figure <id> or --all")
+        parser.error("pass --figure <id>, --all, or registry-doc")
 
     targets = sorted(FIGURES) if args.all else [args.figure]
     for figure_id in targets:

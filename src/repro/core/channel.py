@@ -60,6 +60,45 @@ MCAST_HEADER_BYTES = 8
 SEG_HEADER_BYTES = 4
 
 
+def _members_trunk_path(comm) -> tuple[int, float]:
+    """Worst trunk path between any two members of a communicator view:
+    ``(hops, wire µs per payload byte across those hops)``.
+
+    The per-byte term weighs every hop by its own *tier's* trunk rate
+    (:meth:`~repro.simnet.fabric.Fabric.trunk_params_for`), so a slow
+    backbone under fast edges stretches the drain timeout exactly as
+    much as it stretches the store-and-forward path — sizing it from
+    the edge rate alone would re-create the premature-NACK livelock on
+    any fabric whose trunks are slower than its access links.
+    ``(0, 0.0)`` when the view cannot reach a cluster topology (the
+    real-socket validation stack) or on flat builds.
+    """
+    world = getattr(comm, "world", None)
+    if world is None:
+        world = getattr(getattr(comm, "parent", None), "world", None)
+    cluster = getattr(world, "cluster", None)
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is None:
+        return 0, 0.0
+    # the path depends only on the endpoints' segments: one
+    # representative host per distinct segment, unordered pairs
+    reps: dict[int, int] = {}
+    for r in range(comm.size):
+        addr = comm.addr_of(r)
+        reps.setdefault(cluster.segment_of(addr), addr)
+    addrs = list(reps.values())
+    hops = 0
+    us_per_byte = 0.0
+    for i, a in enumerate(addrs):
+        for b in addrs[i + 1:]:
+            tiers = fabric.trunk_path_tiers(a, b)
+            hops = max(hops, len(tiers))
+            us_per_byte = max(us_per_byte, sum(
+                8.0 / fabric.trunk_params_for(t).rate_mbps
+                for t in tiers))
+    return hops, us_per_byte
+
+
 class McastChannel:
     """Multicast transport for one communicator, on one rank.
 
@@ -91,6 +130,16 @@ class McastChannel:
         self.scout_sock = self.host.socket(self.scout_port)
         self.data_sock.join(self.group)
         self.seq = 0
+        #: the members' trunk diameter — the most switch-to-switch hops
+        #: any sender-receiver pair of this channel spans on a tiered
+        #: fabric, and the wire time (µs per payload byte) those hops'
+        #: own trunk tiers add (0 on flat clusters and single-segment
+        #: groups).  The round engine's drain timeout allows one extra
+        #: store-and-forward serialization per hop at the actual trunk
+        #: rate, so a deep tree's far corner — even behind a slow
+        #: backbone — never NACKs data that is still in flight.
+        self.trunk_hops, self.trunk_us_per_byte = \
+            _members_trunk_path(comm)
         self._scout_stash: list[tuple[int, int, str]] = []
         #: receive-descriptor ring size for segmented rounds (None =
         #: unbounded).  Seeded from ``NetParams.seg_recv_budget``; tests

@@ -142,7 +142,10 @@ def auto_gap_us(params, datagram_bytes: int) -> float:
 
 
 def round_drain_timeout_us(params, ndatagrams: int,
-                           datagram_bytes: int) -> float:
+                           datagram_bytes: int,
+                           trunk_hops: int = 0,
+                           trunk_us_per_byte: Optional[float] = None
+                           ) -> float:
     """Adaptive drain timeout for one round of ``ndatagrams`` datagrams.
 
     Expected per-datagram cost = wire serialization + sender software +
@@ -152,6 +155,21 @@ def round_drain_timeout_us(params, ndatagrams: int,
     leaf receiver starts its timer ahead of the root's first send),
     capped by the configured ``seg_drain_timeout_us`` so no round ever
     waits *longer* than the PR 2 fixed behaviour.
+
+    ``trunk_hops`` extends the timeout past the cap on tiered fabrics
+    (:mod:`repro.simnet.fabric`): each switch-to-switch hop on the
+    farthest sender-receiver path store-and-forwards the whole
+    datagram once more, so a receiver ``h`` trunks from the root must
+    allow ``h`` extra serializations (plus switch latency) before
+    declaring the round lost — without this, a deep tree's leaf NACKs
+    *before the data can physically arrive* and cancels the very
+    descriptor the repair needs, livelocking the repair loop.
+    ``trunk_us_per_byte`` prices those serializations at the trunks'
+    *own* tier rates (``McastChannel.trunk_us_per_byte``) — a backbone
+    slower than the edge needs proportionally more allowance; when
+    ``None`` the hops are priced at the edge rate.  The path term
+    rides on top of the cap: the cap bounds the flat expectation, the
+    fabric depth is real physics.
     """
     cap = params.seg_drain_timeout_us
     per = (datagram_bytes * 8.0 / params.rate_mbps
@@ -161,7 +179,11 @@ def round_drain_timeout_us(params, ndatagrams: int,
     if not isinstance(gap, (int, float)):
         gap = auto_gap_us(params, datagram_bytes)
     expected = max(1, ndatagrams) * (per + float(gap))
-    return min(cap, params.seg_drain_floor_us + expected)
+    if trunk_us_per_byte is None:
+        trunk_us_per_byte = trunk_hops * 8.0 / params.rate_mbps
+    path = (datagram_bytes * trunk_us_per_byte
+            + trunk_hops * params.switch_latency_us)
+    return min(cap, params.seg_drain_floor_us + expected) + path
 
 
 def round_namespace(*key) -> tuple[Callable, Callable]:
@@ -460,8 +482,11 @@ def follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
             dgram_bytes = (min(rbatch, len(plan))
                            * (seg_bytes + SEG_HEADER_BYTES)
                            + MCAST_HEADER_BYTES)
-            drain_us = round_drain_timeout_us(params, ndatagrams,
-                                              dgram_bytes)
+            drain_us = round_drain_timeout_us(
+                params, ndatagrams, dgram_bytes,
+                trunk_hops=getattr(channel, "trunk_hops", 0),
+                trunk_us_per_byte=getattr(channel, "trunk_us_per_byte",
+                                          None))
             yield from _consume_round(comm, channel, posted, ndatagrams,
                                       seq, reasm, last_index=plan[-1],
                                       drain_us=drain_us)

@@ -75,6 +75,7 @@ AUTO_CHOICES: dict[str, tuple[str, str]] = {
     "reduce": ("p2p-binomial", "mcast-seg-combine"),
     "allreduce": ("p2p-reduce-bcast", "mcast-seg-nack"),
     "scatter": ("p2p-binomial", "mcast-seg-root"),
+    "gather": ("p2p-binomial", "mcast-seg-root-follow"),
     "allgather": ("p2p-gather-bcast", "mcast-seg-paced"),
 }
 
@@ -83,6 +84,9 @@ HIER_AUTO: dict[str, str] = {
     "bcast": "hier-mcast",
     "reduce": "hier-mcast",
     "allreduce": "hier-mcast",
+    "scatter": "hier-mcast",
+    "gather": "hier-mcast",
+    "allgather": "hier-mcast",
 }
 
 
@@ -99,6 +103,11 @@ class TopoInfo:
 
     seg_of_rank: tuple[int, ...]
     contiguous: bool
+    #: switch-tree path per dense segment (``None`` = the two-tier
+    #: default where every segment hangs directly off the core); feeds
+    #: the multi-level trunk-distance models of
+    #: :mod:`repro.analysis.framecount`
+    paths: "tuple[tuple, ...] | None" = None
 
     @property
     def nsegments(self) -> int:
@@ -128,9 +137,11 @@ def comm_topology(comm) -> Optional[TopoInfo]:
     if comm.world.cluster.nsegments > 1:
         from .hier import segment_layout
 
-        dense, _members, _leaders, contiguous = segment_layout(comm)
+        dense, _members, _leaders, contiguous, paths = \
+            segment_layout(comm)
         if len(set(dense)) > 1:
-            info = TopoInfo(seg_of_rank=dense, contiguous=contiguous)
+            info = TopoInfo(seg_of_rank=dense, contiguous=contiguous,
+                            paths=paths)
     comm._topo_info = info
     return info
 
@@ -151,18 +162,20 @@ def p2p_frame_estimate(op: str, nbytes: int, size: int, params,
     """Modeled serializations of the op's p2p baseline.
 
     ``nbytes`` is the op's natural payload: the broadcast/reduce
-    message, the scatter's *total* sequence, the allgather's per-rank
-    contribution.  With ``topo``, cross-segment tree edges additionally
-    pay their trunk crossings (bcast/reduce/allreduce only — the ops
-    with a hierarchical competitor).
+    message, the scatter's *total* sequence, the gather's and
+    allgather's per-rank contribution.  With ``topo``, cross-segment
+    tree edges additionally pay their trunk crossings (multi-level
+    distances when ``topo.paths`` carries the switch-tree shape).
 
-    Known approximation: a *non-commutative* reduce at a nonzero root
+    Known approximations: a *non-commutative* reduce at a nonzero root
     pays one extra payload forward (the tree reduces to rank 0 and
     forwards, see :mod:`repro.mpi.collective.reduce_p2p`) that is not
-    modeled here — second-order near the crossover, and the policy has
-    no commutativity input at estimate level.
+    modeled here; the scatter's and gather's per-edge subtree shares
+    are averaged as half the payload for the trunk term.  Both are
+    second-order near the crossover.
     """
-    from ...analysis.framecount import (model_p2p_tree_frames,
+    from ...analysis.framecount import (binomial_tree_trunk_hops,
+                                        model_p2p_tree_frames,
                                         model_p2p_tree_trunk_frames)
 
     if size < 2:
@@ -172,13 +185,13 @@ def p2p_frame_estimate(op: str, nbytes: int, size: int, params,
         total = model_p2p_tree_frames(params, size, nbytes)
         if topo is not None:
             total += model_p2p_tree_trunk_frames(
-                params, topo.seg_of_rank, root, nbytes)
+                params, topo.seg_of_rank, root, nbytes, topo.paths)
         return total
     if op == "allreduce":
         total = 2 * model_p2p_tree_frames(params, size, nbytes)
         if topo is not None:
             total += 2 * model_p2p_tree_trunk_frames(
-                params, topo.seg_of_rank, 0, nbytes)
+                params, topo.seg_of_rank, 0, nbytes, topo.paths)
         return total
     if op == "scatter":
         # level i has 2^(i-1) edges, each forwarding a subtree share of
@@ -187,12 +200,32 @@ def p2p_frame_estimate(op: str, nbytes: int, size: int, params,
         for i in range(1, _steps(size) + 1):
             total += min(2 ** (i - 1), size - 1) * _p2p_msg_frames(
                 params, nbytes >> i)
+        if topo is not None:
+            total += (binomial_tree_trunk_hops(topo.seg_of_rank, root,
+                                               topo.paths)
+                      * _p2p_msg_frames(params, nbytes // 2))
+        return total
+    if op == "gather":
+        # each contribution crosses at least one edge; inner edges
+        # re-forward growing subtree batches (averaged as one extra
+        # payload-sized hop for the trunk term)
+        total = (size - 1) * _p2p_msg_frames(params, nbytes)
+        if topo is not None:
+            total += (binomial_tree_trunk_hops(topo.seg_of_rank, root,
+                                               topo.paths)
+                      * _p2p_msg_frames(params, nbytes * size // 2))
         return total
     if op == "allgather":
         # gather of per-rank contributions (lower bound: each crosses
         # one edge) + broadcast of the full list down the tree
-        return ((size - 1) * _p2p_msg_frames(params, nbytes)
-                + (size - 1) * _p2p_msg_frames(params, nbytes * size))
+        total = ((size - 1) * _p2p_msg_frames(params, nbytes)
+                 + (size - 1) * _p2p_msg_frames(params, nbytes * size))
+        if topo is not None:
+            hops = binomial_tree_trunk_hops(topo.seg_of_rank, 0,
+                                            topo.paths)
+            total += hops * (_p2p_msg_frames(params, nbytes * size // 2)
+                             + _p2p_msg_frames(params, nbytes * size))
+        return total
     raise KeyError(f"no p2p frame estimate for collective {op!r}")
 
 
@@ -204,13 +237,15 @@ def seg_frame_estimate(op: str, nbytes: int, size: int, params,
     :mod:`repro.analysis.framecount` (the same ones the benches assert
     against the simulator), plus the expected repair traffic at
     ``params.loss`` and — with ``topo`` — the trunk crossings of every
-    stream (bcast/reduce/allreduce)."""
+    stream (multi-level distances when ``topo.paths`` is present)."""
     from ...analysis.framecount import (expected_seg_repair_frames,
+                                        model_seg_allgather_trunk_frames,
                                         model_seg_allreduce_frames,
                                         model_seg_bcast_trunk_frames,
                                         model_seg_reduce_frames,
                                         model_seg_reduce_trunk_frames,
-                                        model_seg_scatter_frames)
+                                        model_seg_scatter_frames,
+                                        model_seg_scatter_trunk_frames)
     from ...core.segment import plan_transport, seg_nack_frame_count
 
     if size < 2:
@@ -222,78 +257,74 @@ def seg_frame_estimate(op: str, nbytes: int, size: int, params,
                  + expected_seg_repair_frames(size, nsegs, loss))
         if topo is not None:
             total += model_seg_bcast_trunk_frames(topo.seg_of_rank, root,
-                                                  nsegs)
+                                                  nsegs, topo.paths)
         return total
-    if op == "reduce":
-        # one engine stream per non-root contributor
+    if op in ("reduce", "gather"):
+        # one engine stream per non-root contributor (the gather runs
+        # the same turn loop, collecting instead of folding)
         total = (model_seg_reduce_frames(size, nsegs)
-                 + (size - 1) * expected_seg_repair_frames(size, nsegs,
-                                                           loss))
+                 + (size - 1) * expected_seg_repair_frames(
+                     size, nsegs, loss, receivers=1))
         if topo is not None:
             total += model_seg_reduce_trunk_frames(topo.seg_of_rank,
-                                                   root, nsegs)
+                                                   root, nsegs,
+                                                   topo.paths)
         return total
     if op == "allreduce":
         total = (model_seg_allreduce_frames(size, nsegs)
-                 + size * expected_seg_repair_frames(size, nsegs, loss))
+                 + (size - 1) * expected_seg_repair_frames(
+                     size, nsegs, loss, receivers=1)
+                 + expected_seg_repair_frames(size, nsegs, loss))
         if topo is not None:
             total += (model_seg_reduce_trunk_frames(topo.seg_of_rank, 0,
-                                                    nsegs)
+                                                    nsegs, topo.paths)
                       + model_seg_bcast_trunk_frames(topo.seg_of_rank,
-                                                     0, nsegs))
+                                                     0, nsegs,
+                                                     topo.paths))
         return total
     if op == "scatter":
         # one global stream of every non-root rank's share
         share = plan_transport(-(-nbytes // size), params).nsegs
         total_segs = (size - 1) * share
-        return (model_seg_scatter_frames(size, [share] * (size - 1))
-                + expected_seg_repair_frames(size, total_segs, loss))
+        total = (model_seg_scatter_frames(size, [share] * (size - 1))
+                 + expected_seg_repair_frames(size, total_segs, loss,
+                                              receivers=1))
+        if topo is not None:
+            total += model_seg_scatter_trunk_frames(
+                topo.seg_of_rank, root, total_segs, topo.paths)
+        return total
     if op == "allgather":
         # paced ready round + one engine stream per rank
-        return (2 * (size - 1) + size * seg_nack_frame_count(size, nsegs)
-                + size * expected_seg_repair_frames(size, nsegs, loss))
+        total = (2 * (size - 1)
+                 + size * seg_nack_frame_count(size, nsegs)
+                 + size * expected_seg_repair_frames(size, nsegs, loss))
+        if topo is not None:
+            total += model_seg_allgather_trunk_frames(
+                topo.seg_of_rank, nsegs, topo.paths)
+        return total
     raise KeyError(f"no segmented frame estimate for collective {op!r}")
 
 
 def hier_frame_estimate(op: str, nbytes: int, size: int, params,
                         topo: TopoInfo, root: int = 0) -> float:
     """Modeled serializations of the ``hier-mcast`` implementation on
-    ``topo``: host frames of every phase, the leaders' phase trunk
-    crossings, and the expected per-phase repair traffic (intra-segment
-    repairs never touch a trunk — that locality is most of the win
-    under loss)."""
-    from ...analysis.framecount import (expected_seg_repair_frames,
-                                        model_hier_bcast_frames,
-                                        model_hier_reduce_frames)
-    from ...core.segment import plan_transport
+    ``topo``: host frames plus trunk crossings of every phase of the
+    recursive plan (:func:`~repro.analysis.framecount.
+    model_hier_frames` walks the same phase lists the implementation
+    executes), and the expected per-phase repair traffic — repairs
+    never leave the losing phase's switch subtree, which is most of
+    the hierarchy's win under loss."""
+    from ...analysis.framecount import model_hier_frames
 
     if op not in HIER_AUTO:
         raise KeyError(f"no hierarchical estimate for collective {op!r}; "
                        f"hier-capable ops: {sorted(HIER_AUTO)}")
     if size < 2:
         return 0
-    nsegs = plan_transport(nbytes, params).nsegs
-    loss = getattr(params, "loss", 0.0)
-    sizes = topo.seg_sizes
-    k = len(sizes)
-    root_seg = topo.seg_of_rank[root if op != "allreduce" else 0]
-
-    def phase_repairs(streams_per_phase) -> float:
-        return sum(streams * expected_seg_repair_frames(n, nsegs, loss)
-                   for n, streams in streams_per_phase)
-
-    if op == "bcast":
-        frames, trunk = model_hier_bcast_frames(sizes, root_seg, nsegs)
-        repairs = phase_repairs([(sz, 1) for sz in sizes] + [(k, 1)])
-        return frames + trunk + repairs
-    if op == "reduce":
-        frames, trunk = model_hier_reduce_frames(sizes, root_seg, nsegs)
-        repairs = phase_repairs([(sz, max(sz - 1, 0)) for sz in sizes]
-                                + [(k, k - 1)])
-        return frames + trunk + repairs
-    # allreduce = hier reduce to rank 0 + hier bcast from rank 0
-    return (hier_frame_estimate("reduce", nbytes, size, params, topo, 0)
-            + hier_frame_estimate("bcast", nbytes, size, params, topo, 0))
+    frames, trunk = model_hier_frames(
+        op, topo.seg_of_rank, root if op != "allreduce" else 0, nbytes,
+        params, topo.paths, loss=getattr(params, "loss", 0.0))
+    return frames + trunk
 
 
 def modeled_frame_costs(op: str, nbytes: int, size: int, params,
@@ -377,11 +408,14 @@ def resolve_auto(comm, op: str, args: tuple) -> Generator:
                    or getattr(red_op, "commutative", True))
         return auto_impl(op, payload_bytes(args[0]), size, params,
                          topo=topo, root=root, hier_ok=hier_ok)
-    # Rooted (bcast, scatter) or rank-0-anchored (allgather): the rank
-    # that knows the payload announces the choice down the scout tree.
+    # Rooted (bcast, scatter, gather) or rank-0-anchored (allgather):
+    # one rank announces the choice down the scout tree.  The gather's
+    # anchor payload is the root's *own* contribution — heterogeneous
+    # contribution sizes cannot split the decision, and equal-sized
+    # contributions (the common case) make it exact.
     from ...core.scout import scout_scatter_binary
 
-    root = args[1] if op in ("bcast", "scatter") else 0
+    root = args[1] if op in ("bcast", "scatter", "gather") else 0
     channel = comm.mcast
     seq = channel.next_seq()
     name = None

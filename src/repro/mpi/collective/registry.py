@@ -22,10 +22,15 @@ is exactly a comparison of entries in this table:
 * ``gather``: ``"p2p-binomial"`` vs ``"mcast-seg-root-follow"`` (the
   root follows each contributor's engine stream,
   :mod:`repro.core.mcast_gather`);
-* ``bcast``/``reduce``/``allreduce``/``barrier`` additionally register
-  ``"hier-mcast"`` (:mod:`repro.mpi.collective.hier`): per-segment
-  phases bridged by segment leaders on tiered fabrics
-  (:mod:`repro.simnet.fabric`).
+* ``bcast``/``reduce``/``allreduce``/``barrier``/``scatter``/
+  ``gather``/``allgather`` additionally register ``"hier-mcast"``
+  (:mod:`repro.mpi.collective.hier`): per-segment phases bridged by
+  segment leaders — recursively, leaders of leaders per switch tier —
+  on tiered fabrics (:mod:`repro.simnet.fabric`).
+
+The op × impl matrix with per-entry summaries is *generated* into
+``docs/collectives.md`` (``python -m repro.bench.cli registry-doc``);
+a tier-1 test and the CI docs job diff it so it can never go stale.
 
 :data:`DEFAULTS` is the *static* per-op table a fresh communicator
 starts from; the per-call policy layer

@@ -127,15 +127,20 @@ class NetParams:
     #: A finite budget turns a long unpaced burst into paper-§5 overrun:
     #: datagrams beyond the ring are dropped and must be NACK-repaired.
     seg_recv_budget: "int | None" = None
-    #: *expected* per-round multicast data-datagram loss probability —
-    #: a modelling knob, not a fault injector (benches and tests induce
-    #: actual loss via ``UdpSocket.drop_filter`` or finite
-    #: ``seg_recv_budget``).  The payload-aware auto policy folds the
-    #: NACK-repair rounds this expectation implies into its frame
-    #: estimates (:func:`repro.analysis.framecount.
-    #: expected_seg_repair_frames`), so on a platform calibrated with
-    #: nonzero loss the selection crossover shifts toward the p2p trees
-    #: and the hierarchical variants whose repairs stay off the trunks.
+    #: per-receiver multicast data-datagram loss probability.  Wired to
+    #: an actual probabilistic drop at every receiving socket: each
+    #: ``mcast-seg`` datagram is dropped independently with this
+    #: probability, from a per-host seeded RNG substream
+    #: (``Host.loss_rng``), so lossy runs are exactly reproducible and
+    #: counted in ``NetStats.drops_lossy``.  Point fault injection is
+    #: still ``UdpSocket.drop_filter`` / finite ``seg_recv_budget``.
+    #: The payload-aware auto policy folds the NACK-repair rounds this
+    #: rate implies into its frame estimates
+    #: (:func:`repro.analysis.framecount.expected_seg_repair_frames`) —
+    #: on a lossy platform the selection crossover shifts toward the
+    #: p2p trees and the hierarchical variants whose repairs stay off
+    #: the trunks; ``benchmarks/bench_deep_fabric.py`` closes the loop
+    #: between this prediction and the measured repair traffic.
     loss: float = 0.0
 
     label: str = field(default="custom", compare=False)

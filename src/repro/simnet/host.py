@@ -35,6 +35,12 @@ class Host:
         self.name = name or f"host{addr}"
         self.stats = stats if stats is not None else NetStats()
         self.rng = random.Random(seed if seed is not None else addr)
+        #: dedicated substream for probabilistic multicast-data loss
+        #: (``NetParams.loss``), seeded independently of :attr:`rng` so
+        #: turning loss on or off never perturbs the jitter stream of a
+        #: reproducible run
+        self.loss_rng = random.Random(
+            ((seed if seed is not None else addr) << 16) ^ 0x105_5EED)
         self.cpu = Resource(sim, name=f"{self.name}.cpu")
         self.nic = Nic(sim, params, mac=addr, stats=self.stats,
                        name=f"{self.name}.nic")

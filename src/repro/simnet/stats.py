@@ -29,6 +29,7 @@ class NetStats:
     drops_buffer_full: int = 0    #: datagram dropped: socket buffer overrun
     drops_not_posted: int = 0     #: datagram dropped: no posted receive
     drops_induced: int = 0        #: datagram dropped by a fault-injection filter
+    drops_lossy: int = 0          #: multicast data dropped by NetParams.loss
     datagrams_sent: int = 0
     datagrams_delivered: int = 0
     retransmissions: int = 0      #: ack-based reliable-multicast resends
@@ -62,6 +63,7 @@ class NetStats:
             "drops_buffer_full": self.drops_buffer_full,
             "drops_not_posted": self.drops_not_posted,
             "drops_induced": self.drops_induced,
+            "drops_lossy": self.drops_lossy,
             "datagrams_sent": self.datagrams_sent,
             "datagrams_delivered": self.datagrams_delivered,
             "retransmissions": self.retransmissions,

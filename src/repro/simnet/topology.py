@@ -8,10 +8,14 @@ plus tiered multi-segment fabrics.
 * ``"switch"`` — a store-and-forward :class:`~repro.simnet.switchdev.Switch`
   with a full-duplex link per host (the HP ProCurve: no collisions,
   parallel port-to-port paths, IGMP snooping), or
-* ``"tree:SxH"`` — a two-tier :class:`~repro.simnet.fabric.Fabric`: S
-  leaf switches of H hosts each behind one core switch, joined by trunk
-  links that may carry their own ``trunk_params`` (see
-  :mod:`repro.simnet.fabric`).
+* a ``"tree:..."`` string — a recursive
+  :class:`~repro.simnet.fabric.Fabric` of switches joined by trunk
+  links that may carry their own ``trunk_params`` (a single
+  :class:`NetParams` or one per tier).  ``"tree:SxH"`` is the two-tier
+  switch-of-switches, ``"tree:B1x..xBkxH"`` an arbitrary-depth tree
+  (``"tree:2x2x2"`` = three switch tiers, 4 leaves of 2 hosts), and
+  ``"tree:[n1,n2,...]"`` a heterogeneous two-tier build (one leaf per
+  entry) — see :mod:`repro.simnet.fabric` for the grammar.
 
 All return a :class:`Cluster` holding the simulator, hosts, shared
 statistics, and a :class:`~repro.simnet.ip.GroupAllocator` for multicast
@@ -86,6 +90,16 @@ class Cluster:
             raise ValueError(f"no segment {seg_id} in a flat cluster")
         return [h.addr for h in self.hosts]
 
+    def segment_path(self, seg_id: int) -> tuple:
+        """Tree path of a segment's leaf switch in the fabric's switch
+        tree (child indices from the core; ``(seg_id,)`` degenerate on
+        flat topologies, where there is no tree)."""
+        if self.fabric is not None:
+            return self.fabric.segment_path(seg_id)
+        if seg_id != 0:
+            raise ValueError(f"no segment {seg_id} in a flat cluster")
+        return (0,)
+
     def trunk_hops(self, a: int, b: int) -> int:
         """Trunk serializations on the a↔b path (0 on flat topologies)."""
         if self.fabric is not None:
@@ -103,14 +117,16 @@ class Cluster:
 def build_cluster(n: int, topology: str = "switch",
                   params: Optional[NetParams] = None,
                   seed: int = 0,
-                  trunk_params: Optional[NetParams] = None) -> Cluster:
+                  trunk_params=None) -> Cluster:
     """Build an ``n``-host cluster on the given topology.
 
     ``seed`` drives every stochastic element (CSMA/CD backoff, software
     jitter) through per-host substreams, so a (n, topology, params, seed)
     tuple is fully reproducible.  ``trunk_params`` sets the wire
-    parameters of the switch-to-switch trunks of a ``"tree:SxH"`` build
-    (defaults to ``params`` — an undifferentiated backbone).
+    parameters of the switch-to-switch trunks of a ``"tree:..."`` build:
+    one :class:`NetParams` for every trunk, or a sequence indexed by
+    tier (0 = the trunks leaving the core); defaults to ``params`` — an
+    undifferentiated backbone.
     """
     if n < 1:
         raise ValueError(f"cluster needs at least one host, got n={n}")
@@ -119,7 +135,8 @@ def build_cluster(n: int, topology: str = "switch",
         spec = parse_topology(topology)
         if spec is None:
             raise ValueError(f"unknown topology {topology!r}; "
-                             f"expected one of {TOPOLOGIES} or 'tree:SxH'")
+                             f"expected one of {TOPOLOGIES} or a "
+                             f"'tree:...' fabric string")
         if spec.n != n:
             raise ValueError(
                 f"topology {topology!r} wires exactly {spec.n} hosts, "

@@ -216,6 +216,18 @@ class UdpSocket:
             self.rx_dropped += 1
             self.stats.drops_induced += 1
             return
+        if (dgram.kind == "mcast-seg" and self.params.loss > 0.0
+                and self.host.loss_rng.random() < self.params.loss):
+            # NetParams.loss wired for real: each receiver drops each
+            # multicast data datagram independently with probability
+            # ``loss`` (seeded per host, so runs stay reproducible).
+            # Only ``mcast-seg`` data is lossy — the engine repairs it
+            # selectively, and the benches close the loop between this
+            # measured repair traffic and the auto policy's
+            # ``expected_seg_repair_frames`` expectation.
+            self.rx_dropped += 1
+            self.stats.drops_lossy += 1
+            return
         if self._posted:
             self._posted.popleft().succeed(dgram)
             return

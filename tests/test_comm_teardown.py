@@ -129,3 +129,74 @@ def test_free_on_tree_fabric_shrinks_core_and_leaves():
         # core: both trunks; leaf: 2 hosts + trunk (remote interest)
         assert before == (2, 3, 3)
         assert after == (0, 0, 0)
+
+
+def test_free_after_dup_shrinks_members_across_two_trunk_hops():
+    """Three-tier fabric (PR 5): a freed dup's IGMP leaves must cross
+    *two* trunk hops and shrink the snooped member sets at every tier —
+    leaf, mid switch, and core."""
+    def main(env):
+        dup = yield from env.comm.dup()
+        yield from dup.bcast(b"d" if env.rank == 0 else None, 0)
+        group = dup.mcast.group
+        fabric = env.comm.world.cluster.fabric
+        mid0 = fabric.nodes[(0,)]
+        yield from env.comm.barrier()
+        before = (len(fabric.core.members_of(group)),
+                  len(mid0.members_of(group)),
+                  len(fabric.leaves[0].members_of(group)),
+                  len(fabric.leaves[3].members_of(group)))
+        yield from env.comm.barrier()     # nobody frees before sampling
+        dup.free()
+        yield env.sim.timeout(3 * SETTLE_US)
+        after = (len(fabric.core.members_of(group)),
+                 len(mid0.members_of(group)),
+                 len(fabric.leaves[0].members_of(group)),
+                 len(fabric.leaves[3].members_of(group)))
+        return before, after
+
+    result = run_spmd(8, main, topology="tree:2x2x2", params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    for before, after in result.returns:
+        # core: its two mid trunks; mid0: uplink + two leaf trunks;
+        # leaf: 2 host ports + uplink (remote interest)
+        assert before == (2, 3, 3, 3)
+        assert after == (0, 0, 0, 0)
+
+
+def test_free_after_split_deep_tree_keeps_other_groups_intact():
+    """Freeing one split half on a 3-tier fabric releases only its own
+    hier and flat groups: the world group and the surviving half stay
+    fully snooped across every trunk tier."""
+    def main(env):
+        half = yield from env.comm.split(env.rank // 4, key=env.rank)
+        half.use_collectives(bcast="hier-mcast")
+        out = yield from half.bcast(
+            bytes(4000) if half.rank == 0 else None, 0)
+        seg_group = half._hier.seg_comm.mcast.group \
+            if half._hier.seg_comm is not None else None
+        flat_group = half.mcast.group
+        fabric = env.comm.world.cluster.fabric
+        my_leaf = fabric.leaves[
+            env.comm.world.cluster.segment_of(env.host.addr)]
+        yield from env.comm.barrier()
+        before = (len(my_leaf.members_of(flat_group)),
+                  len(my_leaf.members_of(seg_group)))
+        yield from env.comm.barrier()     # nobody frees before sampling
+        if env.rank < 4:
+            half.free()                   # only the first half frees
+        yield env.sim.timeout(3 * SETTLE_US)
+        after = (len(my_leaf.members_of(flat_group)),
+                 len(my_leaf.members_of(seg_group)))
+        world_ok = len(my_leaf.members_of(env.comm.mcast.group)) > 0
+        yield from env.comm.barrier()     # world still fully usable
+        return len(out), before, after, world_ok
+
+    result = run_spmd(8, main, topology="tree:2x2x2", params=QUIET)
+    for rank, (n, before, after, world_ok) in enumerate(result.returns):
+        assert n == 4000 and world_ok
+        assert before[0] > 0 and before[1] > 0
+        if rank < 4:
+            assert after == (0, 0), (rank, after)
+        else:
+            assert after[0] > 0 and after[1] > 0

@@ -73,6 +73,21 @@ def test_hier_cluster_runs():
     assert counts["hier-mcast"] < counts["mcast-seg-nack"]
 
 
+def test_deep_fabric_runs():
+    proc = _run("deep_fabric.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "4 segments, 3 switch tiers" in proc.stdout
+    assert "leaders of leaders" in proc.stdout
+    # the recursive hierarchy: a core group and one per mid switch
+    assert "group at core: leader ranks [0, 4]" in proc.stdout
+    assert "group at switch (1,): leader ranks [4, 6]" in proc.stdout
+    # flat-vs-hier per-call trunk frames; the hierarchy must win
+    lines = [ln.split() for ln in proc.stdout.splitlines()
+             if "mcast-seg-root-follow" in ln or "hier-mcast" in ln]
+    counts = {name: int(n) for name, n, *_rest in lines}
+    assert counts["hier-mcast"] < counts["mcast-seg-root-follow"]
+
+
 @pytest.mark.realnet
 def test_real_multicast_runs():
     proc = _run("real_multicast.py")

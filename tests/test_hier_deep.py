@@ -1,0 +1,318 @@
+"""Recursive hierarchical collectives (``hier-mcast``) on deep and
+heterogeneous fabrics: the pure hierarchy layer (trees, phases,
+canonical order), full-op correctness at many roots, leaders-of-leaders
+recursion, and auto selection of the new scatter/gather/allgather
+entries."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.mpi.collective.hier import (allgather_phases, bcast_phases,
+                                       build_hier_tree, canonical_order,
+                                       group_members, hier_state,
+                                       scatter_phases,
+                                       tree_internal_nodes, up_phases)
+from repro.mpi.ops import Op, SUM
+from repro.simnet import quiet
+from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+
+QUIET = quiet(FAST_ETHERNET_SWITCH)
+AUTO = quiet(replace(FAST_ETHERNET_SWITCH, segment_bytes="auto"))
+
+#: 8 ranks, 4 leaves of 2, three switch tiers
+DEEP = "tree:2x2x2"
+DEEP_SEG = (0, 0, 1, 1, 2, 2, 3, 3)
+DEEP_PATHS = ((0, 0), (0, 1), (1, 0), (1, 1))
+
+HIER_ALL = {op: "hier-mcast" for op in
+            ("bcast", "reduce", "allreduce", "barrier", "scatter",
+             "gather", "allgather")}
+
+
+# ------------------------------------------------ the pure hierarchy layer
+def test_build_hier_tree_recursion_and_collapse():
+    tree = build_hier_tree(DEEP_SEG, DEEP_PATHS)
+    internals = tree_internal_nodes(tree)
+    # core group + one group per mid switch: genuine leaders-of-leaders
+    assert [n.path for n in internals] == [(), (0,), (1,)]
+    assert group_members(internals[0]) == (0, 4)
+    assert group_members(internals[1]) == (0, 2)
+    assert group_members(internals[2]) == (4, 6)
+    assert canonical_order(tree) == list(range(8))
+    # two-tier default: exactly one leaders' group
+    flat2 = build_hier_tree((0, 0, 0, 0, 1, 1, 1, 1))
+    assert [n.path for n in tree_internal_nodes(flat2)] == [()]
+    # a comm confined to one mid's subtree collapses the pass-through
+    # tiers away: its top group bridges the two leaves directly
+    sub = build_hier_tree((0, 0, 1, 1), ((0, 0), (0, 1)))
+    internals = tree_internal_nodes(sub)
+    assert [n.path for n in internals] == [(0,)]
+    assert group_members(internals[0]) == (0, 2)
+
+
+def test_phase_plans_cover_and_order_the_deep_tree():
+    tree = build_hier_tree(DEEP_SEG, DEEP_PATHS)
+    phases = bcast_phases(tree, root=5)
+    # root 5's leaf first, then its chain bottom-up, then the rest
+    assert phases[0].key == ("leaf", 2) and phases[0].root == 5
+    assert phases[1].key == ("node", (1,)) and phases[1].root == 4
+    assert phases[2].key == ("node", ()) and phases[2].root == 4
+    # every rank receives: union of members over phases = all ranks
+    covered = set()
+    for ph in phases:
+        covered.update(ph.members)
+    assert covered == set(range(8))
+    up, holder = up_phases(tree, root=5)
+    assert holder == 4            # leader of root 5's top-level subtree
+    plan = scatter_phases(tree, root=5)
+    assert plan.hoist == (5, 4)   # root is not its subtree's leader
+    ag = allgather_phases(tree)
+    # the top group never re-broadcasts downwards (it learned in "up")
+    assert all(ph.key != ("node", ()) for ph in ag.down)
+
+
+def test_non_contiguous_on_deep_tree_detected():
+    # interleaved ranks across the core: leader-ordered folding would
+    # reorder operands
+    seg = (0, 2, 1, 3, 0, 2, 1, 3)
+    tree = build_hier_tree(seg, DEEP_PATHS)
+    assert canonical_order(tree) != list(range(8))
+
+
+# ------------------------------------------------ end-to-end correctness
+@pytest.mark.parametrize("root", [0, 3, 5])
+def test_deep_bcast_from_any_root(root):
+    def main(env):
+        data = bytes([root]) * 20_000 if env.rank == root else None
+        data = yield from env.comm.bcast(data, root)
+        return data == bytes([root]) * 20_000
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO,
+                      collectives={"bcast": "hier-mcast"})
+    assert result.returns == [True] * 8
+    result.verify_safe_schedules()
+
+
+@pytest.mark.parametrize("root", [0, 6])
+def test_deep_reduce_canonical_order_non_commutative(root):
+    concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+    def main(env):
+        out = yield from env.comm.reduce(str(env.rank), concat, root)
+        return out
+
+    result = run_spmd(8, main, topology=DEEP, params=QUIET,
+                      collectives={"reduce": "hier-mcast"})
+    assert result.returns[root] == "01234567"
+    assert all(r is None for i, r in enumerate(result.returns)
+               if i != root)
+
+
+@pytest.mark.parametrize("topology,n", [(DEEP, 8), ("tree:[4,8,2]", 14)])
+def test_deep_scatter_gather_allgather_roundtrip(topology, n):
+    def main(env):
+        size = env.comm.size
+        objs = None
+        if env.rank == 1:
+            objs = [bytes([r]) * 3000 for r in range(size)]
+        mine = yield from env.comm.scatter(objs, 1)
+        ok = mine == bytes([env.rank]) * 3000
+        got = yield from env.comm.gather(mine, 2)
+        if env.rank == 2:
+            ok = ok and got == [bytes([r]) * 3000 for r in range(size)]
+        every = yield from env.comm.allgather(env.rank * 11)
+        ok = ok and every == [r * 11 for r in range(size)]
+        return ok
+
+    result = run_spmd(n, main, topology=topology, params=AUTO,
+                      collectives=HIER_ALL)
+    assert result.returns == [True] * n
+    result.verify_safe_schedules()
+
+
+def test_deep_allreduce_and_barrier():
+    def main(env):
+        yield env.sim.timeout(29.0 * env.rank)   # staggered entry
+        entered = env.now
+        yield from env.comm.barrier()
+        released = env.now
+        out = yield from env.comm.allreduce(
+            np.full(3000, float(env.rank + 1)), SUM)
+        return entered, released, bool(np.all(out == 36.0))
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO,
+                      collectives=HIER_ALL)
+    last_entry = max(e for e, _r, _ok in result.returns)
+    for _e, released, ok in result.returns:
+        assert released >= last_entry
+        assert ok
+
+
+def test_deep_hier_state_builds_recursive_channels():
+    def main(env):
+        yield from env.comm.bcast(b"w" if env.rank == 0 else None, 0)
+        st = env.comm._hier
+        return (sorted(st.comms), st.contiguous)
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO,
+                      collectives={"bcast": "hier-mcast"})
+    keys0, contiguous = result.returns[0]
+    assert contiguous
+    # rank 0 is leader of everything on its chain: leaf 0, mid (0,),
+    # and the core group
+    assert keys0 == [("leaf", 0), ("node", ()), ("node", (0,))]
+    keys1, _ = result.returns[1]
+    assert keys1 == [("leaf", 0)]          # plain member: leaf only
+    keys6, _ = result.returns[6]
+    assert keys6 == [("leaf", 3), ("node", (1,))]
+
+
+def test_deep_repair_stays_inside_the_losing_leaf():
+    """Induced loss on a leaf channel of a 3-tier fabric is repaired by
+    the leaf's leader — repair data never touches any trunk tier."""
+    size = 24_000
+
+    def main(env, lossy=True):
+        env.comm.use_collectives(bcast="hier-mcast")
+        yield from env.comm.bcast(b"w" if env.rank == 0 else None, 0)
+        if env.rank == 7 and lossy:
+            seen = set()
+
+            def drop_first(dgram):
+                if dgram.kind != "mcast-seg":
+                    return False
+                key = dgram.payload[:2]
+                if key in seen:
+                    return False
+                seen.add(key)
+                return True
+
+            env.comm._hier.seg_comm.mcast.data_sock.drop_filter = \
+                drop_first
+        data = yield from env.comm.bcast(
+            bytes(size) if env.rank == 0 else None, 0)
+        return len(data)
+
+    lossy = run_spmd(8, main, topology=DEEP, params=AUTO)
+    clean = run_spmd(8, lambda env: main(env, lossy=False),
+                     topology=DEEP, params=AUTO)
+    assert lossy.returns == clean.returns == [size] * 8
+    assert lossy.stats["retransmissions"] > 0
+    assert (lossy.stats["trunk_frames_by_kind"]["mcast-seg"]
+            == clean.stats["trunk_frames_by_kind"]["mcast-seg"])
+
+
+def test_auto_picks_hier_for_new_ops_on_deep_tree():
+    """End to end: a large gather and scatter on the deep tree resolve
+    to hier-mcast on every rank (the model favors the hierarchy's
+    trunk confinement there), and an allgather on a wide heterogeneous
+    tree does too."""
+    from repro.mpi.collective.policy import auto_impl, TopoInfo
+
+    topo = TopoInfo(seg_of_rank=DEEP_SEG, contiguous=True,
+                    paths=DEEP_PATHS)
+    assert auto_impl("gather", 48_000, 8, AUTO, topo=topo) == \
+        "hier-mcast"
+    assert auto_impl("scatter", 200_000, 8, AUTO, topo=topo) == \
+        "hier-mcast"
+
+    def main(env):
+        env.comm.use_collectives(gather="auto", scatter="auto")
+        n = env.comm.size
+        yield from env.comm.gather(bytes(48_000), 0)
+        objs = [bytes(200_000 // n)] * n if env.rank == 0 else None
+        yield from env.comm.scatter(objs, 0)
+        return [name for _op, name in env.comm.impl_log]
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO)
+    logs = set(tuple(log) for log in result.returns)
+    assert logs == {("hier-mcast", "hier-mcast")}
+    result.verify_safe_schedules()
+
+    wide = TopoInfo(seg_of_rank=(0,) * 4 + (1,) * 8 + (2,) * 2,
+                    contiguous=True, paths=((0,), (1,), (2,)))
+    assert auto_impl("allgather", 8_000, 14, AUTO, topo=wide) == \
+        "hier-mcast"
+
+    def ag_main(env):
+        env.comm.use_collectives(allgather="auto")
+        out = yield from env.comm.allgather(bytes(8_000))
+        assert len(out) == env.comm.size
+        return env.comm.impl_log[-1][1]
+
+    ag = run_spmd(14, ag_main, topology="tree:[4,8,2]", params=AUTO)
+    assert set(ag.returns) == {"hier-mcast"}
+
+
+def test_hier_survives_dup_split_on_deep_tree():
+    def main(env):
+        env.comm.use_collectives(**HIER_ALL)
+        dup = yield from env.comm.dup()
+        a = yield from dup.bcast(b"a" * 5000 if env.rank == 0 else None,
+                                 0)
+        half = yield from dup.split(env.rank % 2, key=env.rank)
+        tot = yield from half.allreduce(1, SUM)
+        half.free()
+        dup.free()
+        return len(a), tot
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO)
+    assert result.returns == [(5000, 4)] * 8
+
+
+def test_single_member_leaf_gets_its_scatter_element():
+    """tree:[2,1,2]: the middle segment is one lone rank whose element
+    arrives as a one-entry bundle from its leader group."""
+    def main(env):
+        objs = ([bytes([r]) * 2000 for r in range(5)]
+                if env.rank == 0 else None)
+        mine = yield from env.comm.scatter(objs, 0)
+        g = yield from env.comm.gather(mine, 4)
+        if env.rank == 4:
+            return g == [bytes([r]) * 2000 for r in range(5)]
+        return mine == bytes([env.rank]) * 2000
+
+    result = run_spmd(5, main, topology="tree:[2,1,2]", params=AUTO,
+                      collectives=HIER_ALL)
+    assert result.returns == [True] * 5
+
+
+def test_early_hier_state_inspection_on_deep_tree():
+    def main(env):
+        if env.rank in (0, 7):
+            st = hier_state(env.comm)       # early inspection
+            assert not st.synced
+        data = yield from env.comm.bcast(
+            bytes(8000) if env.rank == 0 else None, 0)
+        return len(data) == 8000 and env.comm._hier.synced
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO,
+                      collectives={"bcast": "hier-mcast"})
+    assert result.returns == [True] * 8
+
+
+def test_hier_slab_recycled_after_free():
+    """Churning hier communicators must not march the group/port slab
+    space forward forever: once every member frees a communicator, its
+    slab is reused by the next one (regression for long-lived jobs)."""
+    def main(env):
+        marches = []
+        for _ in range(4):
+            dup = yield from env.comm.dup()
+            dup.use_collectives(allreduce="hier-mcast")
+            tot = yield from dup.allreduce(1, SUM)
+            assert tot == env.comm.size
+            yield from env.comm.barrier()   # nobody frees early
+            dup.free()
+            yield env.sim.timeout(3000.0)   # leaves propagate
+            marches.append(env.comm.world._hier_next)
+        return marches
+
+    result = run_spmd(8, main, topology=DEEP, params=AUTO)
+    for marches in result.returns:
+        # the allocator advanced once (the first dup) and then reused
+        # the freed slab for every later churn iteration
+        assert len(set(marches)) == 1, marches

@@ -1,0 +1,43 @@
+"""The generated collective reference can never go stale: this tier-1
+test regenerates ``docs/collectives.md`` in memory and diffs it against
+the committed file (CI runs the same check via ``make docs-check``)."""
+
+import pathlib
+
+from repro.bench.registry_doc import (collective_registry_doc,
+                                      default_doc_path)
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def test_default_doc_path_points_into_this_repo():
+    assert default_doc_path() == REPO / "docs" / "collectives.md"
+
+
+def test_collectives_doc_is_current():
+    committed = default_doc_path().read_text()
+    assert committed == collective_registry_doc(), (
+        "docs/collectives.md is stale — regenerate with "
+        "'python -m repro.bench.cli registry-doc'")
+
+
+def test_doc_covers_every_registered_op_and_impl():
+    from repro.mpi.collective.registry import REGISTRY
+
+    doc = collective_registry_doc()
+    for op, impls in REGISTRY.items():
+        assert f"## {op}" in doc
+        for name in impls:
+            assert f"`{name}`" in doc
+
+
+def test_cli_check_mode_detects_staleness(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    target = tmp_path / "collectives.md"
+    assert main(["registry-doc", "--output", str(target)]) == 0
+    assert main(["registry-doc", "--check", "--output",
+                 str(target)]) == 0
+    target.write_text(target.read_text() + "\nstale edit\n")
+    assert main(["registry-doc", "--check", "--output",
+                 str(target)]) == 1
