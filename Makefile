@@ -2,18 +2,24 @@
 # tiny benchmark invocations, so the benchmark entry points cannot
 # silently rot.  `make docs-check` is the docs gate: the generated
 # docs/collectives.md must be current and every relative Markdown link
-# under README.md / docs/ must resolve.
+# under README.md / docs/ must resolve.  `make lint-deep` is the
+# protocol-invariant gate: the in-tree `repro.lint` analyzer (resource
+# leaks, sim determinism, layering, tag namespaces, registry
+# consistency — see docs/lint.md) plus the tier-1 suite re-run with
+# REPRO_SANITIZE=1, which makes every run_spmd teardown assert that no
+# sockets, group memberships or events leak.
 #
 # CI: .github/workflows/ci.yml runs `make smoke` on every push and PR
 # across Python 3.10-3.12 (uploading benchmarks/results/ as an artifact),
-# plus `make lint` and `make docs-check` as separate jobs.  Locally,
-# `make lint` needs ruff on PATH (pip install ruff) and skips with a
-# notice otherwise — CI always installs it, so lint failures cannot slip
-# through.
+# plus `make lint`, `make lint-deep` and `make docs-check` as separate
+# jobs.  Locally, `make lint` needs ruff on PATH (pip install ruff) and
+# skips with a notice otherwise — CI always installs it, so lint
+# failures cannot slip through.  `make lint-deep` has no dependencies
+# beyond the repo itself.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint bench-segmented docs docs-check
+.PHONY: test smoke lint lint-deep bench-segmented docs docs-check
 
 test:
 	$(PY) -m pytest -x -q
@@ -31,6 +37,12 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (CI installs it)"; \
 	fi
+
+# Protocol-invariant static analysis + the leak-sanitized tier-1 run.
+# Stdlib-only: works everywhere the tests work.
+lint-deep:
+	$(PY) -m repro.lint src tests benchmarks examples
+	REPRO_SANITIZE=1 $(PY) -m pytest -x -q
 
 bench-segmented:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py

@@ -31,7 +31,13 @@ Assertions (the reproduction criteria for this extension):
    ``mcast-ack`` under symmetric first-copy loss, and batching cuts the
    datagram count to the ``seg_nack_datagram_count`` closed form;
 4. at the below-crossover size, the auto plan's loss-free median beats
-   the fixed per-segment plan's (the receive tax it no longer pays).
+   the fixed per-segment plan's (the receive tax it no longer pays);
+5. under *probabilistic* seeded loss the measured extra frames of a
+   lossy run land in a **[expected/3, 1.5·expected]** band around
+   :func:`~repro.analysis.framecount.expected_seg_repair_frames` — the
+   model now accounts for repair re-batching (all still-missing
+   segments of a round share one repair plan), so the band is tighter
+   than the legacy factor-of-two one in ``bench_deep_fabric``.
 
 ``REPRO_SEG_SMOKE=1`` shrinks the sweep to a single tiny point so CI can
 exercise the entry point in seconds.
@@ -210,6 +216,40 @@ def check_auto_plan_frames():
     return pairs
 
 
+def check_repair_model_band():
+    """Criterion 5: with ``NetParams.loss`` doing real seeded drops, the
+    measured repair traffic tracks ``expected_seg_repair_frames`` within
+    [x/3, 1.5x] — a band tight enough that re-introducing the old
+    union-compounding overestimate (~5x too many round-2 frames at this
+    operating point) fails it from above, and dropping repair rounds
+    fails it from below."""
+    from repro.analysis.framecount import expected_seg_repair_frames
+
+    n, loss, size = 8, 0.05, 96_000
+    n_ops = 2 if SMOKE else 4
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        for _ in range(n_ops):
+            out = yield from env.comm.bcast(
+                bytes(size) if env.rank == 0 else None, 0)
+            assert len(out) == size
+        return True
+
+    clean = run_spmd(n, main, params=QUIET_AUTO, seed=SEED)
+    lossy = run_spmd(n, main, params=replace(QUIET_AUTO, loss=loss),
+                     seed=SEED)
+    assert all(clean.returns) and all(lossy.returns)
+    assert lossy.stats["drops_lossy"] > 0
+    measured = lossy.stats["frames_sent"] - clean.stats["frames_sent"]
+    nsegs = plan_transport(size, QUIET_AUTO).nsegs
+    expected = n_ops * expected_seg_repair_frames(n, nsegs, loss)
+    assert expected / 3 <= measured <= 1.5 * expected, (
+        f"measured {measured} repair frames outside the tightened model "
+        f"band [{expected / 3:.0f}, {1.5 * expected:.0f}]")
+    return measured, expected
+
+
 # ---------------------------------------------------------------- latency
 def _sweep():
     series = []
@@ -253,12 +293,15 @@ def _run():
     nsegs = check_frame_formula()
     seg_frames, ack_frames = check_fewer_frames_than_ack()
     auto_pairs = check_auto_plan_frames()
+    repair_measured, repair_expected = check_repair_model_band()
     series = _sweep()
     auto_str = "; ".join(f"{s}B: {a}<={b}" for s, a, b in auto_pairs)
     notes = (f"{SIZES[-1]} B = {nsegs} segments; induced loss at odd "
              f"ranks; seg-nack repaired it in {seg_frames} frames vs "
              f"ack's {ack_frames}; auto-plan payload frames vs ack "
-             f"under symmetric loss: {auto_str}")
+             f"under symmetric loss: {auto_str}; seeded-loss repair "
+             f"traffic {repair_measured} frames vs model "
+             f"{repair_expected:.0f} (band [x/3, 1.5x])")
     return series, notes
 
 

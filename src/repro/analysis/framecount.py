@@ -30,6 +30,7 @@ __all__ = [
     "model_p2p_tree_trunk_frames", "model_seg_bcast_trunk_frames",
     "model_seg_reduce_trunk_frames", "model_seg_scatter_trunk_frames",
     "model_seg_allgather_trunk_frames", "model_hier_frames",
+    "MODEL_COVERAGE",
 ]
 
 
@@ -155,37 +156,49 @@ def expected_seg_repair_frames(n: int, nsegs: int, loss: float,
     """Expected extra frames of one engine stream's NACK repair loop at
     per-receiver data-frame loss probability ``loss``.
 
-    The root repairs the **union** of its receivers' missing sets, so
-    with ``R`` receivers each segment lands in round ``r``'s plan with
-    probability about ``u**r`` where ``u = 1 - (1-loss)**R`` — repair
-    round ``r`` re-multicasts about ``S * u**r`` segments and pays the
-    per-round control sweep (arming scouts, reports, decisions:
-    ``3(N-1)`` frames).  ``receivers`` defaults to ``n - 1`` (the
-    broadcast case: every non-root posts for the data); streams with a
-    single consuming receiver — the reduce/gather turn loops, where
-    bystanders post nothing and report empty — pass ``receivers=1``.
-    The sum runs while a round is still *expected* to happen (at least
-    half a segment outstanding), so a lossless stream costs nothing.
-    This is the term the auto policy adds to every segmented-multicast
+    The root repairs the **union** of its receivers' missing sets.  A
+    given receiver is still missing a given segment after ``r``
+    transmissions (the original plus ``r - 1`` repairs) with
+    probability exactly ``loss**r`` — every transmission is an
+    independent Bernoulli drop, and the engine re-batches each round's
+    repair plan into one multicast re-send of the union, so the number
+    of *frames* a segment costs in round ``r`` does not depend on how
+    many receivers missed it.  With ``R`` receivers a segment therefore
+    lands in round ``r``'s plan with probability
+    ``1 - (1 - loss**r)**R`` (~ ``R * loss**r`` for small loss), and
+    round ``r`` adds that expected segment count plus the per-round
+    control sweep (arming scouts, reports, decisions: ``3(N-1)``
+    frames).  An earlier version of this model compounded the
+    *union* probability geometrically (``u**r`` with
+    ``u = 1-(1-loss)**R``), which overestimates late rounds badly —
+    round 2 by ~5x at n=8, loss=0.05 — because the union is over
+    per-receiver misses that each thin out as ``loss**r``;
+    ``benchmarks/bench_segmented_bcast.py::check_repair_model_band``
+    pins the tightened accuracy and ``benchmarks/bench_deep_fabric.py``
+    closes the loop on a tiered fabric.
+
+    ``receivers`` defaults to ``n - 1`` (the broadcast case: every
+    non-root posts for the data); streams with a single consuming
+    receiver — the reduce/gather turn loops, where bystanders post
+    nothing and report empty — pass ``receivers=1``.  The sum runs
+    while a round is still *expected* to happen (at least half a
+    segment outstanding), so a lossless stream costs nothing.  This is
+    the term the auto policy adds to every segmented-multicast
     estimate; the p2p trees ride the simulator's reliable unicast path
-    and carry no such term.  ``benchmarks/bench_deep_fabric.py`` checks
-    the measured repair traffic of a really-lossy run
-    (``NetParams.loss`` wired to seeded drops) against this
-    expectation.
+    and carry no such term.
     """
     if n < 2 or nsegs < 1 or loss <= 0.0:
         return 0.0
     if receivers is None:
         receivers = n - 1
-    union = 1.0 - (1.0 - min(loss, 0.99)) ** max(receivers, 1)
-    union = min(union, 0.99)
+    receivers = max(receivers, 1)
+    p = min(loss, 0.99)
     extra = 0.0
-    expect = nsegs * union
-    rounds = 0
-    while expect >= 0.5 and rounds < max_rounds:
+    for r in range(1, max_rounds + 1):
+        expect = nsegs * (1.0 - (1.0 - p ** r) ** receivers)
+        if expect < 0.5:
+            break
         extra += expect + 3 * (n - 1)
-        expect *= union
-        rounds += 1
     return extra
 
 
@@ -533,3 +546,98 @@ def model_hier_frames(op: str, seg_of_rank, root: int, nbytes: int,
         return frames, trunk
     raise KeyError(f"no hierarchical frame model for collective "
                    f"{op!r}")
+
+
+# ---------------------------------------------------------------------------
+# model coverage ledger (PR 6: executed by the REG01 lint rule)
+# ---------------------------------------------------------------------------
+#: (op, impl) -> the closed-form frame model backing it, as a dotted
+#: function path, or an explicit ``"estimate: <why>"`` marker for
+#: implementations whose traffic has no asserted closed form.  The
+#: REG01 rule (``python -m repro.lint``) checks this table both ways
+#: against the live registry: every registered implementation must
+#: appear here (a missing entry is a silent modeling gap — the
+#: ROADMAP's alltoall/scan/exscan/reduce_scatter holes are visible
+#: below as estimate markers, not absences), and every entry must name
+#: a registered implementation and a resolvable function.
+MODEL_COVERAGE: dict[tuple[str, str], str] = {
+    ("bcast", "p2p-binomial"):
+        "repro.analysis.framecount.model_mpich_bcast_frames",
+    ("bcast", "p2p-linear"):
+        "repro.analysis.framecount.model_mpich_bcast_frames",
+    ("bcast", "mcast-binary"):
+        "repro.analysis.framecount.model_mcast_bcast_frames",
+    ("bcast", "mcast-linear"):
+        "repro.analysis.framecount.model_mcast_bcast_frames",
+    ("bcast", "mcast-naive"):
+        "estimate: unreliable one-shot blast; delivered count depends "
+        "on receiver readiness, only the send side is closed-form",
+    ("bcast", "mcast-ack"):
+        "estimate: ack-implosion retransmit traffic depends on timing "
+        "(the PVM-style baseline exists to measure, not to model)",
+    ("bcast", "mcast-seg-nack"):
+        "repro.core.segment.seg_nack_frame_count",
+    ("bcast", "mcast-sequencer"):
+        "estimate: sequencer hop doubles data frames; ordering traffic "
+        "modeled only asymptotically (DESIGN.md)",
+    ("bcast", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("barrier", "p2p-mpich"):
+        "repro.analysis.framecount.paper_mpich_barrier_messages",
+    ("barrier", "p2p-dissemination"):
+        "estimate: ceil(log2 N) rounds of N messages each; asserted "
+        "only as a message count in tests, not a frame model",
+    ("barrier", "mcast"):
+        "repro.core.mcast_barrier.barrier_mcast_message_count",
+    ("barrier", "hier-mcast"):
+        "estimate: per-phase mcast barriers over the recursive tree; "
+        "no closed form asserted yet (latency-bound op)",
+    ("reduce", "p2p-binomial"):
+        "repro.analysis.framecount.model_p2p_tree_frames",
+    ("reduce", "mcast-seg-combine"):
+        "repro.analysis.framecount.model_seg_reduce_frames",
+    ("reduce", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("allreduce", "p2p-reduce-bcast"):
+        "estimate: composition — 2 x model_p2p_tree_frames (reduce "
+        "down, bcast back)",
+    ("allreduce", "mcast-seg-nack"):
+        "repro.analysis.framecount.model_seg_allreduce_frames",
+    ("allreduce", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("gather", "p2p-binomial"):
+        "estimate: inner edges re-forward growing subtree batches; "
+        "policy uses the (size-1) contributions lower bound",
+    ("gather", "mcast-seg-root-follow"):
+        "repro.analysis.framecount.model_seg_reduce_frames",
+    ("gather", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("scatter", "p2p-binomial"):
+        "estimate: per-level subtree shares (exact only at power-of-"
+        "two sizes); see policy.p2p_frame_estimate",
+    ("scatter", "mcast-seg-root"):
+        "repro.analysis.framecount.model_seg_scatter_frames",
+    ("scatter", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("allgather", "p2p-gather-bcast"):
+        "estimate: composition — gather lower bound + full-list "
+        "broadcast; see policy.p2p_frame_estimate",
+    ("allgather", "mcast-paced"):
+        "estimate: unsegmented per-turn streaming; superseded by "
+        "mcast-seg-paced, kept as a measured baseline",
+    ("allgather", "mcast-seg-paced"):
+        "estimate: composition — paced ready round (2(N-1)) + N x "
+        "seg_nack_frame_count; see policy.seg_frame_estimate",
+    ("allgather", "hier-mcast"):
+        "repro.analysis.framecount.model_hier_frames",
+    ("alltoall", "p2p-pairwise"):
+        "estimate: (N-1) pairwise exchanges; ROADMAP gap — no "
+        "multicast rival or asserted closed form yet",
+    ("scan", "p2p-linear"):
+        "estimate: N-1 chained hops; ROADMAP gap — no multicast rival "
+        "or asserted closed form yet",
+    ("exscan", "p2p-linear"):
+        "estimate: N-1 chained hops (shifted scan); ROADMAP gap",
+    ("reduce_scatter", "p2p-reduce-scatter"):
+        "estimate: reduce-to-root + scatter composition; ROADMAP gap",
+}

@@ -86,7 +86,7 @@ def scout_scatter_binary(comm, channel, seq: int, root: int = 0,
     layer uses this to announce the root's per-call implementation
     choice before any rank commits to an algorithm's traffic pattern.
     """
-    from ..mpi.collective.bcast_p2p import binomial_children
+    from .binomial import binomial_children
     from .channel import SCOUT_BYTES
 
     size = comm.size

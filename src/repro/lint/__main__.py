@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.lint src tests benchmarks examples``."""
+
+import sys
+
+from .engine import run_cli
+
+sys.exit(run_cli(sys.argv[1:]))

@@ -1,0 +1,47 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = ["attach_parents", "parent", "ancestors", "enclosing",
+           "walk_functions", "in_function"]
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set ``child._lint_parent`` on every node (idempotent)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node
+
+
+def parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_lint_parent", None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    cur = parent(node)
+    while cur is not None:
+        yield cur
+        cur = parent(cur)
+
+
+def enclosing(node: ast.AST, kinds) -> Optional[ast.AST]:
+    """Nearest ancestor of one of the given node types."""
+    for anc in ancestors(node):
+        if isinstance(anc, kinds):
+            return anc
+    return None
+
+
+def in_function(node: ast.AST) -> bool:
+    return enclosing(node, _FUNCS) is not None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCS):
+            yield node

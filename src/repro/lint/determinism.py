@@ -1,0 +1,178 @@
+"""DET01 — the simulation must be bit-reproducible from its seed.
+
+The predicted-vs-measured repair loop (expected_seg_repair_frames vs
+``NetStats.drops_lossy``) and every frame-count assertion in the benches
+only mean something if a (topology, params, seed) tuple replays the same
+run.  Three things silently break that: unseeded randomness, wall-clock
+reads, and iteration order of hash-based sets.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import attach_parents, parent, walk_functions
+from .engine import SourceFile, Violation
+
+CODE = "DET01"
+SUMMARY = "nondeterminism hazard inside the simulation layers"
+
+EXPLAIN = """\
+Inside repro.simnet / repro.core / repro.mpi the rule flags:
+
+* unseeded RNGs: `random.Random()` with no seed argument, or the
+  module-level `random.random()` / `randint` / `choice` / `shuffle` /
+  `sample` / `uniform` / `randrange` / `gauss` functions (they draw from
+  the shared, unseeded global RNG).  Seeded `random.Random(seed)`
+  substreams are the sanctioned pattern (see simnet.topology);
+* wall-clock and entropy reads: `time.time` / `time_ns` /
+  `perf_counter` / `monotonic`, `os.urandom`, `uuid.uuid4` — simulation
+  time comes from the event kernel (`sim.now`), never the host;
+* iterating a `set` (literal, `set()` / `frozenset()` call, set
+  comprehension, set-operator expression, `.union`/`.intersection`/
+  `.difference` result, or a local name bound to one) in a `for` loop
+  or comprehension without `sorted()` — hash order varies with
+  PYTHONHASHSEED and insertion history.  Order-insensitive reductions
+  (`sum`, `min`, `max`, `len`, `all`, `any`, `sorted`, `set`,
+  `frozenset`) over a generator are accepted.
+
+The regression test this rule protects is
+tests/test_determinism.py::test_lossy_tree_allreduce_reproducible: the
+same seeded lossy tree:2x2x2 allreduce twice, identical NetStats.
+"""
+
+_SCOPES = ("repro.simnet", "repro.core", "repro.mpi")
+
+_GLOBAL_RANDOM_FNS = {"random", "randint", "choice", "shuffle",
+                      "sample", "uniform", "randrange", "gauss",
+                      "betavariate", "expovariate", "normalvariate"}
+_TIME_FNS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+             "monotonic", "monotonic_ns"}
+_SET_METHODS = {"union", "intersection", "difference",
+                "symmetric_difference"}
+_ORDER_FREE = {"sorted", "sum", "min", "max", "len", "all", "any",
+               "set", "frozenset"}
+_DESETTERS = {"sorted", "list", "tuple"}     # rebinding launders a set
+_COMPS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+def _in_scope(src: SourceFile) -> bool:
+    return (src.module is not None
+            and any(src.module == s or src.module.startswith(s + ".")
+                    for s in _SCOPES))
+
+
+def _is_setlike(node: ast.AST, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in ("set", "frozenset"):
+            return True
+        if isinstance(fn, ast.Attribute) and fn.attr in _SET_METHODS:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_setlike(node.left, set_names)
+                or _is_setlike(node.right, set_names))
+    return False
+
+
+def _set_names(scope: ast.AST) -> set[str]:
+    """Names bound to a set-like value somewhere in ``scope`` (and never
+    laundered through sorted()/list()/tuple())."""
+    names: set[str] = set()
+    laundered: set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets
+                   if isinstance(t, ast.Name)]
+        if not targets:
+            continue
+        if _is_setlike(node.value, names | {t for t in targets}):
+            names.update(targets)
+        elif (isinstance(node.value, ast.Call)
+              and isinstance(node.value.func, ast.Name)
+              and node.value.func.id in _DESETTERS):
+            laundered.update(targets)
+    return names - laundered
+
+
+def _ordered_consumer(comp: ast.AST) -> bool:
+    """True when the comprehension's result is consumed by an
+    order-insensitive builtin (``sum(x for x in s)`` etc.)."""
+    p = parent(comp)
+    return (isinstance(p, ast.Call)
+            and isinstance(p.func, ast.Name)
+            and p.func.id in _ORDER_FREE)
+
+
+def check_file(src: SourceFile) -> list[Violation]:
+    if not _in_scope(src):
+        return []
+    attach_parents(src.tree)
+    out: list[Violation] = []
+
+    def flag(node: ast.AST, msg: str) -> None:
+        out.append(Violation(CODE, str(src.path), node.lineno, msg))
+
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if (isinstance(fn, ast.Attribute)
+                    and isinstance(fn.value, ast.Name)):
+                mod, attr = fn.value.id, fn.attr
+                if mod == "random" and attr == "Random" and not (
+                        node.args or node.keywords):
+                    flag(node, "unseeded random.Random() — pass a seed "
+                               "(derive per-host substreams from the "
+                               "run seed)")
+                elif mod == "random" and attr in _GLOBAL_RANDOM_FNS:
+                    flag(node, f"random.{attr}() draws from the global "
+                               f"unseeded RNG — use a seeded "
+                               f"random.Random instance")
+            elif (isinstance(fn, ast.Name) and fn.id == "Random"
+                    and not (node.args or node.keywords)):
+                flag(node, "unseeded Random() — pass a seed")
+        elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name):
+            mod, attr = node.value.id, node.attr
+            if mod == "time" and attr in _TIME_FNS:
+                flag(node, f"time.{attr} reads the wall clock — "
+                           f"simulation time is sim.now")
+            elif mod == "os" and attr == "urandom":
+                flag(node, "os.urandom is nondeterministic entropy")
+            elif mod == "uuid" and attr == "uuid4":
+                flag(node, "uuid.uuid4 is nondeterministic entropy")
+
+    # unordered set iteration
+    scopes = [src.tree] + list(walk_functions(src.tree))
+    for scope in scopes:
+        names = _set_names(scope)
+        for node in ast.walk(scope):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append((node, node.iter))
+            elif isinstance(node, _COMPS):
+                if _ordered_consumer(node):
+                    continue
+                for gen in node.generators:
+                    iters.append((node, gen.iter))
+            for where, it in iters:
+                if _is_setlike(it, names):
+                    flag(where, "iteration over a set without sorted() "
+                                "— hash order is not reproducible "
+                                "across runs/interpreters")
+    # de-dup (nested scopes see the same For nodes)
+    seen = set()
+    unique = []
+    for v in out:
+        key = (v.line, v.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(v)
+    return unique

@@ -1,0 +1,152 @@
+"""REG01 — registry cross-consistency, executed against the live tables.
+
+Parsing cannot see decorator side effects, so this rule *imports* the
+package and checks the real registry against the real policy and model
+tables.  Gaps become tracked waivers instead of silence: an op with no
+auto policy must carry a ``POLICY_WAIVERS`` entry, an implementation
+with no closed-form frame model must carry an ``estimate:`` marker in
+``MODEL_COVERAGE``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+from .engine import SourceFile, Violation
+
+CODE = "REG01"
+SUMMARY = "registry / policy / frame-model tables are inconsistent"
+
+EXPLAIN = """\
+Executed (not parsed) against the imported package; for every
+registered (op, implementation) pair the rule requires:
+
+* a nonempty docstring on the implementation (docs/collectives.md is
+  generated from them — an empty one ships an empty row);
+* a DEFAULTS entry for the op naming a registered implementation;
+* policy coverage: the op appears in policy.AUTO_CHOICES (and its
+  choices are registered names) or carries a justified
+  policy.POLICY_WAIVERS entry.  An op in both, or a waiver for an
+  unregistered op, is *stale* and flagged;
+* model coverage: the pair appears in
+  analysis.framecount.MODEL_COVERAGE, mapping to a resolvable frame-
+  model function (dotted path) or an explicit "estimate: <why>" marker.
+  Entries for unregistered pairs, and dangling function paths, are
+  flagged.
+
+This turns the ROADMAP's alltoall/scan/exscan/reduce_scatter gaps into
+tracked waivers: deleting the waiver without adding the real policy or
+model brings the lint gate down.
+"""
+
+
+def _resolvable(dotted: str) -> bool:
+    mod, _, attr = dotted.rpartition(".")
+    if not mod:
+        return False
+    try:
+        return callable(getattr(importlib.import_module(mod), attr))
+    except (ImportError, AttributeError):
+        return False
+
+
+def check_tables(registry, defaults, auto_choices, hier_auto, waivers,
+                 coverage, where="registry",
+                 resolvable=_resolvable) -> list[Violation]:
+    """The pure consistency check (unit-testable with toy tables).
+
+    ``where`` anchors violations that have no better file; entries are
+    ``(op -> {impl -> fn})``, fn objects may be plain callables.
+    """
+    out: list[Violation] = []
+
+    def flag(msg: str, path: str = where, line: int = 1) -> None:
+        out.append(Violation(CODE, path, line, msg))
+
+    def anchor(fn) -> tuple[str, int]:
+        code = getattr(fn, "__code__", None)
+        if code is not None:
+            return code.co_filename, code.co_firstlineno
+        return where, 1
+
+    for op in sorted(registry):
+        impls = registry[op]
+        for name in sorted(impls):
+            fn = impls[name]
+            doc = (getattr(fn, "__doc__", None) or "").strip()
+            path, line = anchor(fn)
+            if not doc:
+                flag(f"({op}, {name}) has no docstring — "
+                     f"docs/collectives.md is generated from these",
+                     path, line)
+            if (op, name) not in coverage:
+                flag(f"({op}, {name}) has no MODEL_COVERAGE entry "
+                     f"(analysis/framecount.py): name a frame model or "
+                     f"an explicit 'estimate: <why>' marker",
+                     path, line)
+        if op not in defaults:
+            flag(f"op {op!r} is registered but has no DEFAULTS entry")
+        elif defaults[op] not in impls:
+            flag(f"DEFAULTS[{op!r}] = {defaults[op]!r} is not a "
+                 f"registered implementation of {op!r}")
+        in_auto = op in auto_choices
+        in_waivers = op in waivers
+        if not in_auto and not in_waivers:
+            flag(f"op {op!r} has no auto policy (AUTO_CHOICES) and no "
+                 f"POLICY_WAIVERS entry — gaps must be tracked, not "
+                 f"silent")
+        if in_auto and in_waivers:
+            flag(f"stale waiver: op {op!r} is in both AUTO_CHOICES and "
+                 f"POLICY_WAIVERS")
+        if in_auto:
+            for impl in auto_choices[op]:
+                if impl not in impls:
+                    flag(f"AUTO_CHOICES[{op!r}] names unregistered "
+                         f"implementation {impl!r}")
+        if op in hier_auto and hier_auto[op] not in impls:
+            flag(f"HIER_AUTO[{op!r}] names unregistered implementation "
+                 f"{hier_auto[op]!r}")
+    for op in sorted(set(defaults) - set(registry)):
+        flag(f"stale DEFAULTS entry for unregistered op {op!r}")
+    for op in sorted(set(waivers) - set(registry)):
+        flag(f"stale POLICY_WAIVERS entry for unregistered op {op!r}")
+    for op, impl in sorted(coverage):
+        if op not in registry or impl not in registry[op]:
+            flag(f"stale MODEL_COVERAGE entry for unregistered pair "
+                 f"({op}, {impl})")
+            continue
+        value = coverage[(op, impl)]
+        if value.startswith("estimate:"):
+            if not value[len("estimate:"):].strip():
+                flag(f"MODEL_COVERAGE[({op}, {impl})] estimate marker "
+                     f"has no rationale")
+        elif not resolvable(value):
+            flag(f"MODEL_COVERAGE[({op}, {impl})] = {value!r} does not "
+                 f"resolve to a callable frame model")
+    return out
+
+
+def finalize(files: list[SourceFile]) -> list[Violation]:
+    reg_src = next((f for f in files
+                    if f.module == "repro.mpi.collective.registry"),
+                   None)
+    if reg_src is None:
+        return []
+    try:
+        import repro  # noqa: F401  (registers every implementation)
+        from repro.analysis.framecount import MODEL_COVERAGE
+        from repro.mpi.collective import policy, registry
+    except Exception as exc:  # pragma: no cover - import breakage
+        return [Violation(CODE, str(reg_src.path), 1,
+                          f"could not import the package for the "
+                          f"executed registry check: {exc!r}")]
+    live = Path(registry.__file__).resolve()
+    if reg_src.path.resolve() != live:
+        # linting a fixture tree that merely *looks* like the repo —
+        # the executed check only applies to the importable package
+        return []
+    return check_tables(registry.REGISTRY, registry.DEFAULTS,
+                        policy.AUTO_CHOICES, policy.HIER_AUTO,
+                        policy.POLICY_WAIVERS, MODEL_COVERAGE,
+                        where=str(reg_src.path))

@@ -11,36 +11,14 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+# The tree-shape helpers live in repro.core.binomial (the scout layer
+# walks the same tree); re-exported here to keep the historical import
+# path for callers and tests.
+from ...core.binomial import binomial_children, binomial_parent
 from .registry import register
 from .tags import TAG_BCAST
 
 __all__ = ["bcast_binomial", "binomial_children", "binomial_parent"]
-
-
-def binomial_parent(rel: int) -> int:
-    """Parent of relative rank ``rel`` in the binomial broadcast tree."""
-    if rel == 0:
-        raise ValueError("the root has no parent")
-    mask = 1
-    while not rel & mask:
-        mask <<= 1
-    return rel & ~mask
-
-
-def binomial_children(rel: int, size: int) -> list[int]:
-    """Children of relative rank ``rel``, in MPICH send order (big first)."""
-    # The mask where `rel` received (its lowest set bit), halved downward.
-    mask = 1
-    while mask < size and not rel & mask:
-        mask <<= 1
-    mask >>= 1
-    kids = []
-    while mask > 0:
-        child = rel + mask
-        if child < size:
-            kids.append(child)
-        mask >>= 1
-    return kids
 
 
 @register("bcast", "p2p-binomial")

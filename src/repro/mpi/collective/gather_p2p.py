@@ -77,7 +77,7 @@ def scatter_binomial(comm, objs: Optional[Sequence[Any]],
         slice_map = yield from comm._recv_coll(parent, TAG_SCATTER)
 
     for child in binomial_children(rel, size):
-        members = set(_subtree(child, size))
+        members = sorted(set(_subtree(child, size)))
         part = {r: slice_map[r] for r in members}
         yield from comm._send_coll(part, (child + root) % size, TAG_SCATTER)
 

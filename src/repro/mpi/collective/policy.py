@@ -61,10 +61,10 @@ from typing import Generator, Optional
 
 from ..datatypes import payload_bytes
 
-__all__ = ["AUTO", "AUTO_CHOICES", "HIER_AUTO", "TopoInfo",
-           "comm_topology", "auto_impl", "modeled_frame_costs",
-           "p2p_frame_estimate", "seg_frame_estimate",
-           "hier_frame_estimate", "resolve_auto"]
+__all__ = ["AUTO", "AUTO_CHOICES", "HIER_AUTO", "POLICY_WAIVERS",
+           "TopoInfo", "comm_topology", "auto_impl",
+           "modeled_frame_costs", "p2p_frame_estimate",
+           "seg_frame_estimate", "hier_frame_estimate", "resolve_auto"]
 
 #: the pseudo-implementation name accepted by ``use_collectives``
 AUTO = "auto"
@@ -87,6 +87,26 @@ HIER_AUTO: dict[str, str] = {
     "scatter": "hier-mcast",
     "gather": "hier-mcast",
     "allgather": "hier-mcast",
+}
+
+#: registered ops *deliberately* outside the auto policy, with the
+#: reason on record.  The REG01 lint rule requires every registered op
+#: to appear in AUTO_CHOICES or here, so a future collective cannot
+#: silently ship without a selection story — and flags a waiver as
+#: stale the moment its op gains an AUTO_CHOICES entry (or stops being
+#: registered).  These are the ROADMAP's tracked gaps, not oversights.
+POLICY_WAIVERS: dict[str, str] = {
+    "barrier": "latency-bound and payload-free: the serialization "
+               "currency of modeled_frame_costs cannot rank its "
+               "candidates, so selection stays static (DEFAULTS or an "
+               "explicit use_collectives choice)",
+    "alltoall": "only p2p-pairwise is registered; no segmented-"
+                "multicast rival to choose between yet (ROADMAP)",
+    "scan": "prefix dependence serializes the chain; no multicast "
+            "candidate exists (ROADMAP)",
+    "exscan": "shifted scan; same serial-chain story as scan (ROADMAP)",
+    "reduce_scatter": "registered as a reduce+scatter composition; a "
+                      "dedicated segmented path is a ROADMAP item",
 }
 
 

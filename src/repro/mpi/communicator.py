@@ -71,6 +71,7 @@ class Communicator:
         #: chronological (op, resolved impl name) log — how the "auto"
         #: policy layer's per-call choices are observed by tests/benches
         self.impl_log: list[tuple[str, str]] = []
+        world.register_comm(self)
 
     # ------------------------------------------------------------------
     # identity

@@ -29,6 +29,7 @@ from typing import Any, Generator, Optional
 
 from ..simnet.host import Host
 from ..simnet.kernel import Event
+from ..simnet.udp import SocketClosed
 from .status import ANY_SOURCE, ANY_TAG, Request, Status
 
 __all__ = ["MpiEndpoint", "Envelope", "MPI_PORT", "DEFAULT_EAGER_THRESHOLD"]
@@ -194,10 +195,21 @@ class MpiEndpoint:
     # ------------------------------------------------------------------
     def _progress(self) -> Generator:
         while True:
-            dgram = yield from self.sock.recv()
+            try:
+                dgram = yield from self.sock.recv()
+            except SocketClosed:
+                return              # endpoint torn down: daemon exits
             yield from self.host.cpu.use(
                 self.host.jitter(self.params.mpi_match_us))
             self._handle(dgram.payload)
+
+    def close(self) -> None:
+        """Tear the endpoint down: closing the socket releases its port
+        and group memberships and wakes the progress daemon with
+        :class:`~repro.simnet.udp.SocketClosed`, so it exits instead of
+        holding a posted descriptor forever (the leak sanitizer checks
+        exactly this — see :mod:`repro.runtime.sanitize`)."""
+        self.sock.close()
 
     def _handle(self, msg: _Msg) -> None:
         if msg.op == "eager":

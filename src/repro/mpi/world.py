@@ -31,6 +31,10 @@ class MpiWorld:
             for host in cluster.hosts
         }
         self._next_ctx = 1  # ctx 0 is COMM_WORLD
+        # every communicator handed out, for shutdown(); Communicator
+        # registers itself and free() is idempotent, so double frees
+        # are harmless
+        self._comms: list[Communicator] = []
         # hierarchical sub-channel slabs: ctx -> (group base, port base,
         # group count, live holders); see alloc_hier_slab
         self._hier_slabs: dict[int, list] = {}
@@ -112,6 +116,24 @@ class MpiWorld:
         base = self._next_ctx
         self._next_ctx += n
         return base
+
+    # -- lifecycle -------------------------------------------------------
+    def register_comm(self, comm: Communicator) -> None:
+        """Track a communicator so :meth:`shutdown` can free it."""
+        self._comms.append(comm)
+
+    def shutdown(self) -> None:
+        """MPI_Finalize analogue: free every communicator (emitting the
+        IGMP leaves for their multicast channels) and close every
+        endpoint.  Idempotent; used by the ``REPRO_SANITIZE`` teardown
+        (:mod:`repro.runtime.sanitize`) to prove the job leaks nothing.
+        The caller still has to run the simulator afterwards so the
+        close/leave events propagate."""
+        for comm in self._comms:
+            comm.free()
+        self._comms.clear()
+        for endpoint in self.endpoints.values():
+            endpoint.close()
 
     # -- communicators ------------------------------------------------------
     def comm_world(self, rank: int) -> Communicator:

@@ -33,6 +33,7 @@ from ..mpi.world import MpiWorld
 from ..simnet.calibration import NetParams
 from ..simnet.topology import Cluster, build_cluster
 from .env import RankEnv
+from .sanitize import check_quiesced, register_for_teardown, sanitize_enabled
 from .skew import NoSkew, SkewModel
 
 __all__ = ["RunResult", "run_spmd"]
@@ -125,6 +126,14 @@ def run_spmd(n: int,
         cluster.sim.process(rank_program(rank), name=f"rank{rank}")
 
     end = cluster.sim.run(until=max_sim_us)
+    if max_sim_us is None and sanitize_enabled():
+        # REPRO_SANITIZE=1: a completed (unbounded) run must quiesce
+        # cleanly now; the destructive teardown check runs later, from
+        # the test fixture that drains this registry (repro.runtime
+        # .sanitize).  Bounded runs are exempt — they cut the sim off
+        # mid-flight on purpose.
+        check_quiesced(cluster)
+        register_for_teardown(cluster, world)
     return RunResult(returns=returns, records=records, sim_time_us=end,
                      stats=cluster.stats.snapshot(), cluster=cluster,
                      world=world, init_done_us=max(init_times),

@@ -90,8 +90,9 @@ def test_channel_close_idempotent_and_frees_ports():
         ch = env.comm.mcast
         ch.close()
         ch.close()             # second close is a no-op
-        # ports are free again on this host
-        env.host.socket(ch.data_port)
+        # ports are free again on this host (close the probe socket so
+        # it doesn't trip the REPRO_SANITIZE teardown check itself)
+        env.host.socket(ch.data_port).close()
         yield env.sim.timeout(0.0)
 
     run_spmd(2, main, params=QUIET)

@@ -1,0 +1,296 @@
+"""repro.lint: every rule code fires on a trigger fixture and stays
+quiet on the matching clean fixture — plus the repo itself must lint
+clean (the same gate ``make lint-deep`` / CI enforce)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.engine import lint_paths, module_name, run_cli
+from repro.lint.registry_check import check_tables
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def lint_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under tmp_path and lint the tree."""
+    for rel, text in files.items():
+        f = tmp_path / rel
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(textwrap.dedent(text))
+    violations, _ = lint_paths([str(tmp_path)])
+    return violations
+
+
+def codes(violations):
+    return {v.code for v in violations}
+
+
+# ------------------------------------------------------------- harness
+def test_module_name_resolution():
+    assert module_name(Path("src/repro/core/segment.py")) == \
+        "repro.core.segment"
+    assert module_name(Path("x/repro/mpi/__init__.py")) == "repro.mpi"
+    assert module_name(Path("tests/test_lint.py")) is None
+
+
+def test_parse_error_is_reported_not_fatal(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/bad.py": "def broken(:\n"})
+    assert codes(v) == {"PARSE"}
+
+
+def test_explain_known_and_unknown_codes(capsys):
+    assert run_cli(["--explain", "LEAK01"]) == 0
+    assert "post_recv" in capsys.readouterr().out
+    assert run_cli(["--explain", "NOPE99"]) == 2
+
+
+# -------------------------------------------------------------- LEAK01
+def test_leak01_triggers_on_dropped_post_recv(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def collect(sock):
+            ev = sock.post_recv()
+            return 1
+    """})
+    assert "LEAK01" in codes(v)
+
+
+def test_leak01_clean_with_try_finally_release(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def collect(sock):
+            try:
+                ev = sock.post_recv()
+                use(ev)
+            finally:
+                sock.cancel_recv_all()
+    """})
+    assert "LEAK01" not in codes(v)
+
+
+def test_leak01_clean_when_result_is_transferred(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def post(sock):
+            return sock.post_recv()
+    """})
+    assert "LEAK01" not in codes(v)
+
+
+def test_leak01_clean_with_paired_method_in_class(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        class Chan:
+            def open(self):
+                self.sock.join_group(self.group)
+            def close(self):
+                self.sock.leave_group(self.group)
+    """})
+    assert "LEAK01" not in codes(v)
+
+
+# --------------------------------------------------------------- DET01
+def test_det01_triggers_on_wall_clock_and_set_iteration(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+
+        def fanout(members):
+            members = set(members)
+            for m in members:
+                ping(m)
+    """})
+    det = [x for x in v if x.code == "DET01"]
+    assert len(det) >= 2
+
+
+def test_det01_clean_with_sorted_iteration_and_no_wall_clock(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        def fanout(members):
+            members = set(members)
+            for m in sorted(members):
+                ping(m)
+            return sum(x for x in members)
+    """})
+    assert "DET01" not in codes(v)
+
+
+def test_det01_ignores_modules_outside_sim_layers(tmp_path):
+    v = lint_tree(tmp_path, {"repro/bench/x.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+    """})
+    assert "DET01" not in codes(v)
+
+
+# --------------------------------------------------------------- LAY01
+def test_lay01_triggers_on_substrate_importing_mpi(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        from repro.mpi.world import MpiWorld
+    """})
+    assert "LAY01" in codes(v)
+
+
+def test_lay01_triggers_on_core_importing_p2p_algorithms(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        from repro.mpi.collective.bcast_p2p import binomial_children
+    """})
+    assert "LAY01" in codes(v)
+
+
+def test_lay01_allowlist_and_deferred_imports_are_clean(tmp_path):
+    v = lint_tree(tmp_path, {
+        "repro/core/x.py": """\
+            from repro.mpi.collective.registry import register
+            from repro.mpi.datatypes import type_size
+        """,
+        "repro/mpi/pol.py": """\
+            def pick():
+                from repro.analysis import framecount
+                return framecount
+        """})
+    assert "LAY01" not in codes(v)
+
+
+def test_lay01_resolves_relative_imports(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        from ..mpi import world
+    """})
+    assert "LAY01" in codes(v)
+
+
+# --------------------------------------------------------------- TAG01
+def test_tag01_triggers_on_duplicate_tag_values(tmp_path):
+    v = lint_tree(tmp_path, {"repro/mpi/collective/tags.py": """\
+        TAG_A = 1
+        TAG_B = 1
+    """})
+    assert "TAG01" in codes(v)
+
+
+def test_tag01_triggers_on_round_namespace_key_collision(tmp_path):
+    v = lint_tree(tmp_path, {
+        "repro/core/a.py": 'ns = round_namespace("sc")\n',
+        "repro/core/b.py": 'ns = round_namespace("sc")\n'})
+    assert "TAG01" in codes(v)
+
+
+def test_tag01_clean_with_distinct_tags_and_keys(tmp_path):
+    v = lint_tree(tmp_path, {
+        "repro/mpi/collective/tags.py": "TAG_A = 1\nTAG_B = 2\n",
+        "repro/core/a.py": 'ns = round_namespace("sc")\n',
+        "repro/core/b.py": 'ns = round_namespace("ag", turn)\n'})
+    assert "TAG01" not in codes(v)
+
+
+# --------------------------------------------------------------- SUP01
+# (the magic comment is assembled at runtime so the scanner doesn't
+# read these fixture strings as suppressions *in this file*)
+_SKIP = "# repro-" + "lint: skip=LEAK01"
+
+
+def test_sup01_unjustified_suppression_is_flagged(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": f"""\
+        def collect(sock):
+            ev = sock.post_recv()  {_SKIP}
+            return 1
+    """})
+    # the LEAK01 finding is silenced, but the naked skip becomes SUP01
+    assert codes(v) == {"SUP01"}
+
+
+def test_justified_suppression_silences_and_is_clean(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": f"""\
+        def collect(sock):
+            ev = sock.post_recv()  {_SKIP} -- consumed by caller
+            return 1
+    """})
+    assert v == []
+
+
+# --------------------------------------------------------------- REG01
+def _doc(name):
+    def fn():
+        pass
+    fn.__doc__ = f"the {name} algorithm"
+    fn.__name__ = name
+    return fn
+
+
+def _toy_tables():
+    registry = {"bcast": {"fast": _doc("fast"), "slow": _doc("slow")},
+                "scan": {"lin": _doc("lin")}}
+    defaults = {"bcast": "fast", "scan": "lin"}
+    auto = {"bcast": ("fast", "slow")}
+    hier = {"bcast": "fast"}
+    waivers = {"scan": "inherently serial"}
+    coverage = {("bcast", "fast"): "models.bcast_fast",
+                ("bcast", "slow"): "estimate: store-and-forward chain",
+                ("scan", "lin"): "models.scan_lin"}
+    return registry, defaults, auto, hier, waivers, coverage
+
+
+def _check(resolvable=lambda dotted: True, **overrides):
+    tables = dict(zip(
+        ("registry", "defaults", "auto_choices", "hier_auto", "waivers",
+         "coverage"), _toy_tables()))
+    tables.update(overrides)
+    return check_tables(tables["registry"], tables["defaults"],
+                        tables["auto_choices"], tables["hier_auto"],
+                        tables["waivers"], tables["coverage"],
+                        resolvable=resolvable)
+
+
+def test_reg01_consistent_toy_tables_are_clean():
+    assert _check() == []
+
+
+def test_reg01_flags_missing_docstring():
+    registry, *_ = _toy_tables()
+    registry["bcast"]["fast"].__doc__ = "   "
+    assert any("docstring" in v.message
+               for v in _check(registry=registry))
+
+
+def test_reg01_flags_missing_default_and_policy_gap():
+    assert any("DEFAULTS" in v.message
+               for v in _check(defaults={"scan": "lin"}))
+    assert any("no auto policy" in v.message
+               for v in _check(waivers={}))
+
+
+def test_reg01_flags_stale_waiver_and_stale_coverage():
+    assert any("stale waiver" in v.message for v in _check(
+        waivers={"scan": "x", "bcast": "already has a policy"}))
+    cov = dict(_toy_tables()[5])
+    cov[("gather", "gone")] = "models.gone"
+    assert any("stale MODEL_COVERAGE" in v.message
+               for v in _check(coverage=cov))
+
+
+def test_reg01_flags_dangling_model_and_bare_estimate():
+    assert any("does not resolve" in v.message
+               for v in _check(resolvable=lambda d: False))
+    cov = dict(_toy_tables()[5])
+    cov[("scan", "lin")] = "estimate:"
+    assert any("no rationale" in v.message for v in _check(coverage=cov))
+
+
+def test_reg01_live_tables_are_consistent():
+    import repro  # noqa: F401 - registers every implementation
+    from repro.analysis.framecount import MODEL_COVERAGE
+    from repro.mpi.collective import policy, registry
+
+    assert check_tables(registry.REGISTRY, registry.DEFAULTS,
+                        policy.AUTO_CHOICES, policy.HIER_AUTO,
+                        policy.POLICY_WAIVERS, MODEL_COVERAGE) == []
+
+
+# ------------------------------------------------------------ the repo
+def test_repo_lints_clean():
+    """The gate itself: the real tree has zero findings."""
+    paths = [str(REPO / d)
+             for d in ("src", "tests", "benchmarks", "examples")]
+    violations, nfiles = lint_paths(paths)
+    assert violations == [], "\n".join(str(v) for v in violations)
+    assert nfiles > 100
