@@ -1,25 +1,31 @@
 # Developer entry points.  `make smoke` is the CI gate: tier-1 tests plus
 # tiny benchmark invocations, so the benchmark entry points cannot
-# silently rot.  `make docs-check` is the docs gate: the generated
-# docs/collectives.md must be current and every relative Markdown link
-# under README.md / docs/ must resolve.  `make lint-deep` is the
-# protocol-invariant gate: the in-tree `repro.lint` analyzer (resource
-# leaks, sim determinism, layering, tag namespaces, registry
-# consistency — see docs/lint.md) plus the tier-1 suite re-run with
-# REPRO_SANITIZE=1, which makes every run_spmd teardown assert that no
-# sockets, group memberships or events leak.
+# silently rot.  `make bench-gate` is the perf gate: the declarative
+# sweeps re-run at gate scale and diff against the committed
+# benchmarks/results/BENCH_*.json baselines (frame counts exactly,
+# latency within the band documented in docs/BENCHMARKS.md); refresh
+# baselines intentionally with `make bench-baselines`.  `make
+# docs-check` is the docs gate: the generated docs/collectives.md and
+# docs/benchmarks-index.md must be current and every relative Markdown
+# link under README.md / docs/ / benchmarks/results/ must resolve.
+# `make lint-deep` is the protocol-invariant gate: the in-tree
+# `repro.lint` analyzer (resource leaks, sim determinism, layering, tag
+# namespaces, registry consistency — see docs/lint.md) plus the tier-1
+# suite re-run with REPRO_SANITIZE=1, which makes every run_spmd
+# teardown assert that no sockets, group memberships or events leak.
 #
 # CI: .github/workflows/ci.yml runs `make smoke` on every push and PR
 # across Python 3.10-3.12 (uploading benchmarks/results/ as an artifact),
-# plus `make lint`, `make lint-deep` and `make docs-check` as separate
-# jobs.  Locally, `make lint` needs ruff on PATH (pip install ruff) and
-# skips with a notice otherwise — CI always installs it, so lint
-# failures cannot slip through.  `make lint-deep` has no dependencies
-# beyond the repo itself.
+# plus `make bench-gate`, `make lint`, `make lint-deep` and
+# `make docs-check` as separate jobs.  Locally, `make lint` needs ruff
+# on PATH (pip install ruff) and skips with a notice otherwise — CI
+# always installs it, so lint failures cannot slip through.  `make
+# lint-deep` has no dependencies beyond the repo itself.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint lint-deep bench-segmented docs docs-check
+.PHONY: test smoke lint lint-deep bench-segmented bench-gate \
+	bench-baselines bench-full docs docs-check
 
 test:
 	$(PY) -m pytest -x -q
@@ -47,12 +53,34 @@ lint-deep:
 bench-segmented:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py
 
-# Regenerate the derived docs (the collective registry reference).
+# The perf regression gate CI runs: re-sweep every area at gate scale
+# and diff against the committed BENCH_*.json baselines (frame counts
+# exactly; latency within the documented band — see docs/BENCHMARKS.md).
+bench-gate:
+	$(PY) -m repro.bench.cli sweep --check
+
+# Intentionally refresh the committed baselines (BENCH_*.json + the
+# rendered markdown + the generated benchmarks index).
+bench-baselines:
+	$(PY) -m repro.bench.cli sweep
+	$(PY) -m repro.bench.cli bench-doc
+
+# The big sweeps (not committed; honours REPRO_BENCH_REPS).
+bench-full:
+	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py \
+		benchmarks/bench_fabric_scaling.py \
+		benchmarks/bench_deep_fabric.py
+
+# Regenerate the derived docs (the collective registry reference and
+# the benchmarks index).
 docs:
 	$(PY) -m repro.bench.cli registry-doc
+	$(PY) -m repro.bench.cli bench-doc
 
-# The docs gate CI runs: the generated reference must be current and
-# every relative Markdown link in README.md / docs/ must resolve.
+# The docs gate CI runs: the generated references must be current and
+# every relative Markdown link in README.md / docs/ /
+# benchmarks/results/ must resolve.
 docs-check:
 	$(PY) -m repro.bench.cli registry-doc --check
-	$(PY) scripts/check_links.py README.md docs
+	$(PY) -m repro.bench.cli bench-doc --check
+	$(PY) scripts/check_links.py README.md docs benchmarks/results

@@ -1,301 +1,43 @@
 """Recursive multi-tier fabrics: hierarchical vs flat collectives on
-deep and heterogeneous switch trees, and the loss model closed loop
-(PR 5's tentpole).
+deep and heterogeneous switch trees — re-ported onto the declarative
+sweep harness.
 
-Four claims:
+The ``deep-fabric`` area of :mod:`repro.bench.sweep_areas` carries the
+cases (per-call trunk serializations of flat and hierarchical
+collectives on ``tree:2x2x2`` and ``tree:[4,8,2]``, the auto policy
+audit, the end-to-end dispatch check and the loss closed loop) and
+asserts the old script's claims as postconditions:
 
-1. **model == sim, deep** — on a three-tier ``tree:2x2x2`` and a
-   heterogeneous ``tree:[4,8,2]``, the loss-free per-call trunk
-   serializations of the *flat* segmented collectives (bcast, reduce,
-   scatter, gather, allgather) and of the *hierarchical* bcast and
-   reduce match the closed forms in :mod:`repro.analysis.framecount`
-   **exactly** (multi-level path distances, Steiner data edges).
-2. **hier strictly below flat** — per call, ``hier-mcast`` puts
-   strictly fewer frames on the trunks than the flat engine for every
-   op where the hierarchy's confinement wins on these fabrics (reduce,
-   gather, scatter, allgather everywhere; bcast on the heterogeneous
-   tree, where leaders are few relative to ranks).
-3. **auto is model-consistent** — the policy's pick equals the modeled
-   argmin for every (op, size) benched, loss-free and at 5% loss, and
-   an end-to-end ``auto`` run on the deep tree dispatches exactly the
-   modeled argmin on every rank.
-4. **predicted vs measured repair traffic** — with ``NetParams.loss``
-   wired to real seeded drops, the measured extra frames of a lossy
-   broadcast fall within a factor-of-two band of
-   :func:`~repro.analysis.framecount.expected_seg_repair_frames`
-   (the model accounts for repair re-batching; this legacy band stays
-   loose at [expected/4, 2*expected] — ``bench_segmented_bcast`` holds
-   the same model to the tighter [expected/3, 1.5*expected]).
+1. flat segmented trunk counts == the closed forms exactly on deep and
+   heterogeneous trees (multi-level path distances, Steiner edges);
+2. hier bcast/reduce trunk counts == the phase-walking model exactly,
+   and hier strictly below flat for every op where confinement wins;
+3. the policy's pick equals the modeled argmin for every (op, size)
+   benched, loss-free and at 5% loss, and an end-to-end ``auto`` run
+   dispatches it on every rank (asserted inside the runners);
+4. measured repair traffic of a seeded-loss broadcast falls in the
+   legacy [x/4, 2x] band around ``expected_seg_repair_frames``.
 
-``REPRO_SEG_SMOKE=1`` shrinks the sweep so CI exercises the entry
-point in seconds (results are not archived then).
+``REPRO_SEG_SMOKE=1`` selects the tiny gate scale (the committed
+``BENCH_deep-fabric.json`` baseline); results are persisted only by
+``make bench-baselines``.
 """
 
 import os
-from dataclasses import replace
 
-import numpy as np
-
-from _common import SEED, RESULTS_DIR
-
-from repro import run_spmd
-from repro.analysis.framecount import (expected_seg_repair_frames,
-                                       model_hier_frames,
-                                       model_seg_allgather_trunk_frames,
-                                       model_seg_bcast_trunk_frames,
-                                       model_seg_reduce_trunk_frames,
-                                       model_seg_scatter_trunk_frames)
-from repro.core.segment import plan_transport
-from repro.mpi.collective.policy import (auto_impl, modeled_frame_costs)
-from repro.mpi.ops import SUM
-from repro.simnet import quiet
-from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+from repro.bench.sweep import find_series, run_area
 
 SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
-
-AUTO_PARAMS = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
-QUIET_AUTO = quiet(AUTO_PARAMS)
-
-SIZE = 24_000 if SMOKE else 48_000
-LOSS_SIZE = 48_000 if SMOKE else 96_000
-
-#: (topology, n, seg_of_rank, per-segment switch-tree paths)
-FABRICS = [
-    ("tree:2x2x2", 8, (0, 0, 1, 1, 2, 2, 3, 3),
-     ((0, 0), (0, 1), (1, 0), (1, 1))),
-    ("tree:[4,8,2]", 14, (0,) * 4 + (1,) * 8 + (2,) * 2,
-     ((0,), (1,), (2,))),
-]
-
-FLAT_IMPL = {"bcast": "mcast-seg-nack", "reduce": "mcast-seg-combine",
-             "scatter": "mcast-seg-root",
-             "gather": "mcast-seg-root-follow",
-             "allgather": "mcast-seg-paced"}
-
-
-def _op_body(op, size):
-    def body(env):
-        n = env.comm.size
-        if op == "bcast":
-            out = yield from env.comm.bcast(
-                bytes(size) if env.rank == 0 else None, 0)
-            assert len(out) == size
-        elif op == "reduce":
-            # float64 payload of exactly `size` bytes: partials keep
-            # their size through the fold at every hierarchy level
-            yield from env.comm.reduce(
-                np.zeros(size // 8, dtype=np.float64), SUM, 0)
-        elif op == "scatter":
-            objs = ([bytes(size // n)] * n if env.rank == 0 else None)
-            out = yield from env.comm.scatter(objs, 0)
-            assert len(out) == size // n
-        elif op == "gather":
-            yield from env.comm.gather(bytes(size // n), 0)
-        elif op == "allgather":
-            out = yield from env.comm.allgather(bytes(size // n))
-            assert len(out) == n
-        else:  # pragma: no cover - config error
-            raise KeyError(op)
-    return body
-
-
-def _trunk(topology, n, op, impl, size, n_ops):
-    body = _op_body(op, size)
-
-    def main(env):
-        env.comm.use_collectives(**{op: impl})
-        for _ in range(n_ops):
-            yield from body(env)
-        return True
-
-    result = run_spmd(n, main, topology=topology, params=QUIET_AUTO,
-                      seed=SEED)
-    assert all(result.returns)
-    return result.stats["frames_trunk"]
-
-
-def _per_call_trunk(topology, n, op, impl, size):
-    """Trunk frames of ONE call, isolating channel-setup IGMP by
-    differencing a two-op and a one-op run (quiet, deterministic)."""
-    return (_trunk(topology, n, op, impl, size, 2)
-            - _trunk(topology, n, op, impl, size, 1))
-
-
-def check_flat_models_exact():
-    """Criterion 1a: flat segmented trunk counts == closed forms on
-    deep and heterogeneous trees."""
-    rows = []
-    for topology, n, seg_of, paths in FABRICS:
-        nsegs = plan_transport(SIZE, QUIET_AUTO).nsegs
-        share = plan_transport(SIZE // n, QUIET_AUTO).nsegs
-        models = {
-            "bcast": model_seg_bcast_trunk_frames(seg_of, 0, nsegs,
-                                                  paths),
-            "reduce": model_seg_reduce_trunk_frames(seg_of, 0, nsegs,
-                                                    paths),
-            "scatter": model_seg_scatter_trunk_frames(
-                seg_of, 0, (n - 1) * share, paths),
-            "gather": model_seg_reduce_trunk_frames(seg_of, 0, share,
-                                                    paths),
-            "allgather": model_seg_allgather_trunk_frames(seg_of, share,
-                                                          paths),
-        }
-        ops = ("bcast", "scatter") if SMOKE else tuple(models)
-        for op in ops:
-            sim = _per_call_trunk(topology, n, op, FLAT_IMPL[op], SIZE)
-            assert sim == models[op], (
-                f"flat {op} on {topology}: sim {sim} != model "
-                f"{models[op]}")
-            rows.append((topology, op, "flat", sim, models[op]))
-    return rows
-
-
-def check_hier_models_and_wins():
-    """Criteria 1b + 2: hier bcast/reduce trunk counts == the
-    phase-walking model exactly, and hier strictly below flat where
-    the hierarchy's confinement wins."""
-    rows = []
-    for topology, n, seg_of, paths in FABRICS:
-        exact_ops = ("bcast",) if SMOKE else ("bcast", "reduce")
-        for op in exact_ops:
-            _f, trunk_model = model_hier_frames(op, seg_of, 0, SIZE,
-                                                QUIET_AUTO, paths)
-            sim = _per_call_trunk(topology, n, op, "hier-mcast", SIZE)
-            assert sim == trunk_model, (
-                f"hier {op} on {topology}: sim {sim} != model "
-                f"{trunk_model}")
-            rows.append((topology, op, "hier", sim, trunk_model))
-        win_ops = ["reduce", "gather", "scatter", "allgather"]
-        if topology == "tree:[4,8,2]":
-            win_ops.append("bcast")   # few leaders vs many ranks
-        if SMOKE:
-            win_ops = ["gather"]
-        for op in win_ops:
-            flat = _per_call_trunk(topology, n, op, FLAT_IMPL[op], SIZE)
-            hier = _per_call_trunk(topology, n, op, "hier-mcast", SIZE)
-            assert hier < flat, (
-                f"hier {op} on {topology} crossed the trunks {hier} "
-                f"times, the flat engine only {flat}")
-            rows.append((topology, op, "hier<flat", hier, flat))
-    return rows
-
-
-def check_auto_model_consistency():
-    """Criterion 3a: the policy never picks an implementation whose
-    modeled frame count exceeds the best candidate, on deep trees,
-    loss-free and lossy."""
-    from repro.mpi.collective.policy import TopoInfo
-
-    picks = []
-    for topology, n, seg_of, paths in FABRICS:
-        topo = TopoInfo(seg_of_rank=seg_of, contiguous=True, paths=paths)
-        for params, tag in ((QUIET_AUTO, "loss-free"),
-                            (replace(QUIET_AUTO, loss=0.05), "5% loss")):
-            for op in ("bcast", "reduce", "allreduce", "scatter",
-                       "gather", "allgather"):
-                for size in (2000, SIZE):
-                    costs = modeled_frame_costs(op, size, n, params,
-                                                topo, root=0)
-                    pick = auto_impl(op, size, n, params, topo=topo)
-                    assert costs[pick] == min(costs.values()), (
-                        f"auto {op}@{size}B on {topology} ({tag}) "
-                        f"picked {pick}; costs {costs}")
-                    picks.append((topology, tag, op, size, pick))
-    return picks
-
-
-def check_auto_end_to_end():
-    """Criterion 3b: every rank of an auto gather on the deep tree
-    dispatches the modeled argmin, consistently."""
-    from repro.mpi.collective.policy import TopoInfo
-
-    topology, n, seg_of, paths = FABRICS[0]
-
-    def main(env):
-        env.comm.use_collectives(gather="auto", bcast="auto")
-        yield from env.comm.gather(bytes(SIZE // env.comm.size), 0)
-        out = yield from env.comm.bcast(
-            bytes(SIZE) if env.rank == 0 else None, 0)
-        assert len(out) == SIZE
-        return [name for _op, name in env.comm.impl_log]
-
-    result = run_spmd(n, main, topology=topology, params=QUIET_AUTO,
-                      seed=SEED)
-    topo = TopoInfo(seg_of_rank=seg_of, contiguous=True, paths=paths)
-    expected = [auto_impl("gather", SIZE // n, n, QUIET_AUTO, topo=topo),
-                auto_impl("bcast", SIZE, n, QUIET_AUTO, topo=topo)]
-    for log in result.returns:
-        assert log == expected, (log, expected)
-    return expected
-
-
-def check_loss_closed_loop():
-    """Criterion 4: measured repair traffic of a really-lossy broadcast
-    (seeded probabilistic drops) falls within the model's expectation
-    band."""
-    n, loss, n_ops = 8, 0.05, 2 if SMOKE else 4
-
-    def main(env):
-        env.comm.use_collectives(bcast="mcast-seg-nack")
-        for _ in range(n_ops):
-            out = yield from env.comm.bcast(
-                bytes(LOSS_SIZE) if env.rank == 0 else None, 0)
-            assert len(out) == LOSS_SIZE
-        return True
-
-    clean = run_spmd(n, main, params=QUIET_AUTO, seed=SEED)
-    lossy = run_spmd(n, main, params=replace(QUIET_AUTO, loss=loss),
-                     seed=SEED)
-    assert all(clean.returns) and all(lossy.returns)
-    assert lossy.stats["drops_lossy"] > 0
-    measured = lossy.stats["frames_sent"] - clean.stats["frames_sent"]
-    nsegs = plan_transport(LOSS_SIZE, QUIET_AUTO).nsegs
-    expected = n_ops * expected_seg_repair_frames(n, nsegs, loss)
-    assert expected / 4 <= measured <= 2 * expected, (
-        f"measured {measured} repair frames outside the model band "
-        f"[{expected / 4:.0f}, {2 * expected:.0f}]")
-    return measured, expected
-
-
-def _run():
-    flat_rows = check_flat_models_exact()
-    hier_rows = check_hier_models_and_wins()
-    picks = check_auto_model_consistency()
-    e2e = check_auto_end_to_end()
-    loss = check_loss_closed_loop()
-    return flat_rows, hier_rows, picks, e2e, loss
-
-
-def _markdown(flat_rows, hier_rows, picks, e2e, loss):
-    lines = ["# deep-fabric", "",
-             f"_platforms_: {', '.join(t for t, *_ in FABRICS)}, "
-             f"segment_bytes=auto, payload {SIZE} B, seed={SEED}", "",
-             "## Per-call trunk serializations (loss-free, exact "
-             "vs closed forms)", "",
-             "| fabric | op | engine | sim | model |",
-             "|---|---|---|---:|---:|"]
-    for topo, op, kind, sim, model in flat_rows + hier_rows:
-        lines.append(f"| {topo} | {op} | {kind} | {sim} | {model} |")
-    measured, expected = loss
-    lines += ["",
-              f"_loss closed loop_: measured {measured} extra frames "
-              f"at 5% loss vs {expected:.0f} modeled "
-              f"(band [x/4, 2x] asserted)",
-              "", f"_end-to-end auto dispatches_: {e2e}",
-              "", f"_auto picks audited_: {len(picks)} "
-              f"(op, size, loss) points — all modeled argmin", ""]
-    return "\n".join(lines)
+SCALE = "gate" if SMOKE else "full"
 
 
 def test_deep_fabric(benchmark):
-    flat_rows, hier_rows, picks, e2e, loss = benchmark.pedantic(
-        _run, rounds=1, iterations=1)
-    if not SMOKE:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / "deep-fabric.md").write_text(
-            _markdown(flat_rows, hier_rows, picks, e2e, loss))
+    doc = benchmark.pedantic(run_area, args=("deep-fabric",),
+                             kwargs={"scale": SCALE},
+                             rounds=1, iterations=1)
+    repair = find_series(doc, "repair")["metrics"]
     print()
-    for topo, op, kind, sim, model in flat_rows + hier_rows:
-        print(f"{topo:<13} {op:<10} {kind:<9} sim={sim:<5} "
-              f"model/flat={model}")
-    print(f"loss loop: measured={loss[0]} expected={loss[1]:.0f}")
+    print(f"deep-fabric [{SCALE}]: {len(doc['series'])} cases, all "
+          f"postconditions hold; loss loop measured "
+          f"{repair['frames_repair']} extra frames vs model "
+          f"{repair['frames_repair_expected']:.0f}")

@@ -1,221 +1,38 @@
 """Multi-segment fabric scaling: hierarchical vs flat collectives on a
-tiered switch topology (PR 4's new subsystem).
+tiered switch topology — re-ported onto the declarative sweep harness.
 
-Three claims, asserted on a ``tree:2x4`` cluster (two 4-host leaf
-switches behind a core, :mod:`repro.simnet.fabric`):
+The ``fabric-scaling`` area of :mod:`repro.bench.sweep_areas` carries
+the cases (per-call trunk serializations, the latency sweep, the auto
+policy audit and the end-to-end dispatch check on a ``tree:2x4``
+fabric) and asserts the old script's claims as postconditions:
 
-1. **trunk frames** — per call, the hierarchical broadcast
-   (``hier-mcast``) serializes *strictly fewer* frames on the trunk
-   links than the flat segmented broadcast (``mcast-seg-nack``), whose
-   every remote receiver pays the trunk for its reports, decisions and
-   scouts.  Loss-free counts must match the closed forms in
-   :mod:`repro.analysis.framecount`
-   (``model_seg_bcast_trunk_frames`` / ``model_hier_frames``)
-   exactly.  The hierarchical reduce widens the gap dramatically: the
-   flat turn loop crosses every trunk with every contributor's stream.
-2. **auto is model-consistent** — with topology and expected loss
-   folded in, the policy never picks an implementation whose modeled
-   frame count exceeds the best available candidate at any benched
-   payload size (loss-free *and* at ``NetParams.loss`` = 10%), and an
-   end-to-end ``bcast="auto"`` run on the tree dispatches exactly the
-   modeled argmin on every rank.
-3. **latency** — median broadcast latency of ``hier-mcast`` on the
-   tree stays within a small factor of the flat engine at every size
-   (the trunk savings are not bought with pathological slowdowns); the
-   sweep is archived for the scaling story.
+1. per call, ``hier-mcast`` serializes strictly fewer trunk frames
+   than the flat ``mcast-seg-nack``, and both match the closed forms
+   (``model_seg_bcast_trunk_frames`` / ``model_hier_frames``) exactly;
+2. the topology+loss-aware policy never picks an implementation whose
+   modeled frame count exceeds the best candidate, and an end-to-end
+   ``bcast="auto"`` run dispatches exactly the modeled argmin on every
+   rank (asserted inside the runners);
+3. median hier-mcast latency stays within 3x of the flat engine.
 
-``REPRO_SEG_SMOKE=1`` shrinks the sweep to a single size so CI can
-exercise the entry point in seconds (results are not archived then).
+``REPRO_SEG_SMOKE=1`` selects the tiny gate scale (the committed
+``BENCH_fabric-scaling.json`` baseline); results are persisted only by
+``make bench-baselines``.
 """
 
 import os
-import statistics
-from dataclasses import replace
 
-from _common import REPS, SEED, RESULTS_DIR
-
-from repro import run_spmd
-from repro.analysis.framecount import (model_hier_frames,
-                                       model_seg_bcast_trunk_frames)
-from repro.core.segment import plan_transport
-from repro.mpi.collective.policy import (TopoInfo, auto_impl,
-                                         modeled_frame_costs)
-from repro.simnet import quiet
-from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+from repro.bench.sweep import find_series, run_area
 
 SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
-
-TOPOLOGY = "tree:2x4"
-NPROCS = 8
-SIZES = [24_000] if SMOKE else [2000, 24_000, 96_000]
-BENCH_REPS = min(REPS, 2) if SMOKE else max(5, REPS // 4)
-
-AUTO_PARAMS = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
-QUIET_AUTO = quiet(AUTO_PARAMS)
-TOPO = TopoInfo(seg_of_rank=(0, 0, 0, 0, 1, 1, 1, 1), contiguous=True)
-
-BCAST_IMPLS = ["p2p-binomial", "mcast-seg-nack", "hier-mcast", "auto"]
-
-
-def _bcast_run(impl, size, n_ops, params):
-    def main(env):
-        env.comm.use_collectives(bcast=impl)
-        for _ in range(n_ops):
-            data = yield from env.comm.bcast(
-                bytes(size) if env.rank == 0 else None, 0)
-            assert len(data) == size
-        return True
-
-    result = run_spmd(NPROCS, main, topology=TOPOLOGY, params=params,
-                      seed=SEED)
-    assert all(result.returns)
-    return result.stats
-
-
-def _per_call_trunk(impl, size):
-    """Trunk frames of ONE bcast, isolating channel-setup IGMP by
-    differencing a two-op and a one-op run (quiet, deterministic)."""
-    one = _bcast_run(impl, size, 1, QUIET_AUTO)
-    two = _bcast_run(impl, size, 2, QUIET_AUTO)
-    return two["frames_trunk"] - one["frames_trunk"]
-
-
-def check_trunk_claim():
-    """Criterion: hier-mcast bcast puts strictly fewer frames on the
-    trunks than the flat engine, matching the closed forms exactly."""
-    rows = []
-    for size in SIZES:
-        nsegs = plan_transport(size, QUIET_AUTO).nsegs
-        flat = _per_call_trunk("mcast-seg-nack", size)
-        hier = _per_call_trunk("hier-mcast", size)
-        assert hier < flat, (
-            f"hier-mcast bcast at {size} B crossed the trunks "
-            f"{hier} times, the flat engine only {flat}")
-        assert flat == model_seg_bcast_trunk_frames(TOPO.seg_of_rank, 0,
-                                                    nsegs)
-        assert hier == model_hier_frames("bcast", TOPO.seg_of_rank, 0,
-                                         size, QUIET_AUTO)[1]
-        rows.append((size, nsegs, flat, hier))
-    return rows
-
-
-def check_auto_model_consistency():
-    """Criterion: the topology+loss-aware policy never picks an impl
-    whose modeled frame count exceeds the best available candidate."""
-    picks = []
-    for params, tag in ((QUIET_AUTO, "loss-free"),
-                        (replace(QUIET_AUTO, loss=0.10), "10% loss")):
-        for op in ("bcast", "reduce", "allreduce"):
-            for size in SIZES:
-                costs = modeled_frame_costs(op, size, NPROCS, params,
-                                            TOPO, root=0)
-                pick = auto_impl(op, size, NPROCS, params, topo=TOPO)
-                assert costs[pick] == min(costs.values()), (
-                    f"auto {op}@{size}B ({tag}) picked {pick} "
-                    f"({costs[pick]:.0f} modeled frames); best is "
-                    f"{min(costs.values()):.0f} in {costs}")
-                picks.append((tag, op, size, pick))
-    return picks
-
-
-def check_auto_end_to_end():
-    """Every rank of an auto bcast on the tree dispatches the modeled
-    argmin, consistently."""
-    def main(env):
-        env.comm.use_collectives(bcast="auto")
-        for size in SIZES:
-            data = yield from env.comm.bcast(
-                bytes(size) if env.rank == 0 else None, 0)
-            assert len(data) == size
-        return [name for op, name in env.comm.impl_log if op == "bcast"]
-
-    result = run_spmd(NPROCS, main, topology=TOPOLOGY,
-                      params=QUIET_AUTO, seed=SEED)
-    expected = [auto_impl("bcast", size, NPROCS, QUIET_AUTO, topo=TOPO)
-                for size in SIZES]
-    for log in result.returns:
-        assert log == expected, (log, expected)
-    return expected
-
-
-def measure_bcast_latency(impl, size, reps):
-    """Median over reps of the slowest rank's bcast duration (jittered
-    platform, barrier-fenced reps)."""
-    def main(env):
-        env.comm.use_collectives(bcast=impl)
-        durations = []
-        yield from env.comm.bcast(b"w" if env.rank == 0 else None, 0)
-        for _ in range(reps):
-            yield from env.comm.barrier()
-            start = env.now
-            data = yield from env.comm.bcast(
-                bytes(size) if env.rank == 0 else None, 0)
-            assert len(data) == size
-            durations.append(env.now - start)
-        return durations
-
-    result = run_spmd(NPROCS, main, topology=TOPOLOGY,
-                      params=AUTO_PARAMS, seed=SEED)
-    per_rep = [max(d[i] for d in result.returns) for i in range(reps)]
-    return statistics.median(per_rep)
-
-
-def check_latency_sweep():
-    table = {}
-    for impl in BCAST_IMPLS:
-        for size in SIZES:
-            table[impl, size] = measure_bcast_latency(impl, size,
-                                                      BENCH_REPS)
-    for size in SIZES:
-        # sanity: hierarchy must not be pathologically slower than flat
-        assert table["hier-mcast", size] < 3 * table["mcast-seg-nack",
-                                                     size]
-    return table
-
-
-def _run():
-    trunk_rows = check_trunk_claim()
-    picks = check_auto_model_consistency()
-    e2e = check_auto_end_to_end()
-    latency = check_latency_sweep()
-    return trunk_rows, picks, e2e, latency
-
-
-def _markdown(trunk_rows, picks, e2e, latency):
-    lines = ["# fabric-scaling", "",
-             f"_platform_: {TOPOLOGY}, {NPROCS} ranks, "
-             f"segment_bytes=auto, reps={BENCH_REPS}, seed={SEED}", "",
-             "## Per-call trunk serializations (bcast, loss-free, "
-             "exact vs closed forms)", "",
-             "| size (B) | segments | flat mcast-seg-nack | hier-mcast |",
-             "|---:|---:|---:|---:|"]
-    for size, nsegs, flat, hier in trunk_rows:
-        lines.append(f"| {size} | {nsegs} | {flat} | {hier} |")
-    lines += ["", "## Median bcast latency (us, jittered platform)", "",
-              "| size (B) | " + " | ".join(BCAST_IMPLS) + " |",
-              "|---:|" + "---:|" * len(BCAST_IMPLS)]
-    for size in SIZES:
-        cells = " | ".join(f"{latency[impl, size]:.0f}"
-                           for impl in BCAST_IMPLS)
-        lines.append(f"| {size} | {cells} |")
-    picks_str = "; ".join(f"{op}@{s}B ({tag}) -> {name}"
-                          for tag, op, s, name in picks)
-    lines += ["", f"_auto picks (modeled argmin, asserted)_: {picks_str}",
-              "", f"_end-to-end auto bcast dispatches_: {e2e}", ""]
-    return "\n".join(lines)
+SCALE = "gate" if SMOKE else "full"
 
 
 def test_fabric_scaling(benchmark):
-    trunk_rows, picks, e2e, latency = benchmark.pedantic(
-        _run, rounds=1, iterations=1)
-    if not SMOKE:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / "fabric-scaling.md").write_text(
-            _markdown(trunk_rows, picks, e2e, latency))
+    doc = benchmark.pedantic(run_area, args=("fabric-scaling",),
+                             kwargs={"scale": SCALE},
+                             rounds=1, iterations=1)
+    dispatch = find_series(doc, "auto-dispatch")["metrics"]["dispatch"]
     print()
-    for size, nsegs, flat, hier in trunk_rows:
-        print(f"{size:>7} B ({nsegs:>3} segs): trunk frames "
-              f"flat={flat:<4} hier={hier}")
-    for impl in BCAST_IMPLS:
-        meds = ", ".join(f"{latency[impl, s]:.0f}us@{s}B" for s in SIZES)
-        print(f"{impl:<15} {meds}")
+    print(f"fabric-scaling [{SCALE}]: {len(doc['series'])} cases, "
+          f"all postconditions hold; auto bcast dispatched {dispatch}")

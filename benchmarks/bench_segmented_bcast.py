@@ -1,352 +1,48 @@
-"""Segmented pipelined broadcast vs whole-payload retransmission.
+"""Segmented pipelined broadcast vs whole-payload retransmission —
+re-ported onto the declarative sweep harness.
 
-Sweeps **payload size × transport plan × induced loss** for the
-``mcast-seg-nack`` broadcast and puts it against the PVM-style
-``mcast-ack`` baseline the paper dismissed.  Since PR 2 the sweep
-includes the **adaptive** transport plan (``segment_bytes="auto"``):
-frame-sized segments batched into a single datagram below the
-~10-segment crossover, so small payloads no longer pay the per-segment
-receive tax that used to hand ``mcast-ack`` the small-message end.
+The cartesian cases (payload size × transport plan × induced loss,
+plus the seeded-loss repair closed loop and the latency sweep incl.
+the payload-aware ``"auto"`` policy) and every reproduction criterion
+the old bespoke script asserted inline now live in the
+``segmented-bcast`` area of :mod:`repro.bench.sweep_areas`:
 
-The loss model drops the *first* copy of selected data units at every
-odd-ranked receiver, so every scheme needs its repair machinery each
-iteration:
+1. per-segment frame counts match ``seg_nack_frame_count`` exactly,
+   loss-free and with one repair round;
+2. selective NACK repair beats ``mcast-ack``'s whole-payload
+   retransmission on the wire at the many-segment end;
+3. the crossover is gone: the batched auto plan never puts more
+   payload frames on the wire than ``mcast-ack`` under symmetric loss,
+   and its datagram count matches ``seg_nack_datagram_count``;
+4. (full scale) the auto plan's loss-free median beats the fixed
+   per-segment plan's below the batching crossover, and both segmented
+   plans beat ``mcast-ack``'s median at the ≥32-segment end;
+5. seeded-loss repair traffic lands in the [x/3, 1.5x] band around
+   ``expected_seg_repair_frames``.
 
-* for ``mcast-seg-nack`` the unit is one ``mcast-seg`` datagram whose
-  batch contains a segment with index ≡ 3 mod 8, so the root must run
-  one selective repair round per broadcast;
-* for ``mcast-ack`` the unit is the whole-payload datagram, so the root
-  must re-multicast the **entire** payload until the second copy lands.
-
-Assertions (the reproduction criteria for this extension):
-
-1. at a ≥ 32-segment payload under loss, ``mcast-seg-nack`` completes in
-   **fewer total frames** and **lower median latency** than
-   ``mcast-ack``;
-2. per-segment frame counts of loss-free and one-repair-round runs match
-   the closed-form formula in :mod:`repro.core.segment`
-   (``seg_nack_frame_count``);
-3. the crossover is gone: at **every** payload size in the sweep the
-   auto plan puts no more payload-carrying frames on the wire than
-   ``mcast-ack`` under symmetric first-copy loss, and batching cuts the
-   datagram count to the ``seg_nack_datagram_count`` closed form;
-4. at the below-crossover size, the auto plan's loss-free median beats
-   the fixed per-segment plan's (the receive tax it no longer pays);
-5. under *probabilistic* seeded loss the measured extra frames of a
-   lossy run land in a **[expected/3, 1.5·expected]** band around
-   :func:`~repro.analysis.framecount.expected_seg_repair_frames` — the
-   model now accounts for repair re-batching (all still-missing
-   segments of a round share one repair plan), so the band is tighter
-   than the legacy factor-of-two one in ``bench_deep_fabric``.
-
-``REPRO_SEG_SMOKE=1`` shrinks the sweep to a single tiny point so CI can
-exercise the entry point in seconds.
+``run_area(..., check=True)`` runs those postconditions, so this
+driver fails exactly where the old script did.  Results are persisted
+only by ``make bench-baselines`` (gate scale, committed as
+``benchmarks/results/BENCH_segmented-bcast.json``); this test never
+writes files.  ``REPRO_SEG_SMOKE=1`` selects the tiny gate scale so CI
+exercises the entry point in seconds.
 """
 
 import os
-from dataclasses import replace
 
-from _common import REPS, SEED, RESULTS_DIR, by_label
-
-from repro import run_spmd
-from repro.bench import markdown_table, table
-from repro.bench.harness import measure_bcast
-from repro.core.segment import (plan_segments, plan_transport,
-                                seg_nack_datagram_count,
-                                seg_nack_frame_count)
-from repro.simnet import quiet
-from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+from repro.bench.sweep import find_series, run_area
 
 SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
-
-NPROCS = 4
-SIZES = [12_000] if SMOKE else [1000, 12_000, 48_000]
-SEG_BYTES = [1460] if SMOKE else [730, 1460]
-BENCH_REPS = min(REPS, 3) if SMOKE else REPS
-#: wide enough for mcast-ack's full-payload retransmission storms
-WINDOW_US = 150_000.0
-
-QUIET = quiet(FAST_ETHERNET_SWITCH)
-AUTO = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
-QUIET_AUTO = quiet(AUTO)
-
-
-# ---------------------------------------------------------------- loss
-def _drop_first_copy(unit_of):
-    """Filter dropping the first arrival of each distinct data unit."""
-    seen = set()
-
-    def flt(dgram):
-        unit = unit_of(dgram)
-        if unit is None or unit in seen:
-            return False
-        seen.add(unit)
-        return True
-
-    return flt
-
-
-def _seg_unit(dgram):
-    """A ``mcast-seg`` datagram whose batch holds a segment ≡ 3 mod 8."""
-    if dgram.kind != "mcast-seg":
-        return None
-    _root, seq, seg = dgram.payload
-    segs = seg if isinstance(seg, tuple) else (seg,)
-    if not any(s.index % 8 == 3 for s in segs):
-        return None
-    return (seq, min(s.index for s in segs))
-
-
-def _any_data_unit(kind):
-    """First-copy-per-broadcast unit, symmetric across impls (used by
-    the frame-count comparison so a 1-segment payload still sees loss)."""
-    def unit_of(dgram):
-        if dgram.kind != kind:
-            return None
-        return (dgram.payload[1],)          # the broadcast's seq
-    return unit_of
-
-
-_datagram_unit = _any_data_unit("mcast-data")
-
-
-def _lossy_setup(unit_of):
-    def setup(env):
-        if env.rank % 2 == 1:
-            env.comm.mcast.data_sock.drop_filter = _drop_first_copy(unit_of)
-    return setup
-
-
-# ---------------------------------------------------------- frame counts
-def _count_frames(impl, size, params, lossy, unit_of=None):
-    """One quiet single-shot broadcast; returns (stats, ok)."""
-    payload = bytes(size)
-    if unit_of is None:
-        unit_of = _seg_unit if impl == "mcast-seg-nack" else _datagram_unit
-    setup = _lossy_setup(unit_of) if lossy else None
-
-    def main(env):
-        env.comm.use_collectives(bcast=impl)
-        if setup is not None:
-            setup(env)
-        obj = payload if env.rank == 0 else None
-        out = yield from env.comm.bcast(obj, 0)
-        return out == payload
-
-    result = run_spmd(NPROCS, main, params=params, seed=SEED)
-    return result.stats, all(result.returns)
-
-
-def _seg_frames(stats):
-    kinds = stats["frames_by_kind"]
-    return sum(kinds.get(k, 0) for k in
-               ("mcast-seg", "mcast-seg-hdr", "seg-report", "seg-dec",
-                "scout"))
-
-
-def _ack_frames(stats):
-    kinds = stats["frames_by_kind"]
-    return kinds.get("mcast-data", 0) + kinds.get("scout", 0)
-
-
-def check_frame_formula():
-    """Per-segment frame counts must match the documented formula."""
-    size = SIZES[-1]
-    nsegs = len(plan_segments(size, QUIET.segment_bytes))
-
-    stats, ok = _count_frames("mcast-seg-nack", size, QUIET, lossy=False)
-    assert ok
-    assert _seg_frames(stats) == seg_nack_frame_count(NPROCS, nsegs)
-    assert stats["frames_by_kind"]["mcast-seg"] == nsegs
-    assert stats["retransmissions"] == 0
-
-    stats, ok = _count_frames("mcast-seg-nack", size, QUIET, lossy=True)
-    assert ok
-    union = [i for i in range(nsegs) if i % 8 == 3]
-    assert _seg_frames(stats) == seg_nack_frame_count(
-        NPROCS, nsegs, [len(union)])
-    assert stats["frames_by_kind"]["mcast-seg"] == nsegs + len(union)
-    assert stats["retransmissions"] == len(union)
-    return nsegs
-
-
-def check_fewer_frames_than_ack():
-    """Selective repair must beat whole-payload retransmission on wire."""
-    size = SIZES[-1]
-    seg_stats, seg_ok = _count_frames("mcast-seg-nack", size, QUIET,
-                                      lossy=True)
-    ack_stats, ack_ok = _count_frames("mcast-ack", size, QUIET, lossy=True)
-    assert seg_ok and ack_ok
-    assert _seg_frames(seg_stats) < _ack_frames(ack_stats), (
-        f"seg-nack used {_seg_frames(seg_stats)} frames, "
-        f"ack used {_ack_frames(ack_stats)}")
-    return _seg_frames(seg_stats), _ack_frames(ack_stats)
-
-
-def check_auto_plan_frames():
-    """The crossover criterion: at every size in the sweep, the auto
-    plan's payload-carrying ``mcast-seg`` frames stay at or below
-    ``mcast-ack``'s ``mcast-data`` frames under symmetric first-copy
-    loss, and its datagram count matches the batched closed form
-    loss-free."""
-    pairs = []
-    for size in SIZES:
-        seg_stats, seg_ok = _count_frames(
-            "mcast-seg-nack", size, QUIET_AUTO, lossy=True,
-            unit_of=_any_data_unit("mcast-seg"))
-        ack_stats, ack_ok = _count_frames(
-            "mcast-ack", size, QUIET, lossy=True,
-            unit_of=_any_data_unit("mcast-data"))
-        assert seg_ok and ack_ok
-        seg_data = seg_stats["frames_by_kind"].get("mcast-seg", 0)
-        ack_data = ack_stats["frames_by_kind"].get("mcast-data", 0)
-        assert seg_data <= ack_data, (
-            f"auto seg-nack sent {seg_data} payload frames at {size} B, "
-            f"mcast-ack only {ack_data}")
-        pairs.append((size, seg_data, ack_data))
-
-        # loss-free datagram count matches the batched formula
-        tp = plan_transport(size, QUIET_AUTO)
-        stats, ok = _count_frames("mcast-seg-nack", size, QUIET_AUTO,
-                                  lossy=False)
-        assert ok
-        wireup = stats["frames_by_kind"].get("p2p", 0)
-        assert (stats["datagrams_sent"] - wireup
-                == seg_nack_datagram_count(NPROCS, tp.nsegs, tp.batch))
-    return pairs
-
-
-def check_repair_model_band():
-    """Criterion 5: with ``NetParams.loss`` doing real seeded drops, the
-    measured repair traffic tracks ``expected_seg_repair_frames`` within
-    [x/3, 1.5x] — a band tight enough that re-introducing the old
-    union-compounding overestimate (~5x too many round-2 frames at this
-    operating point) fails it from above, and dropping repair rounds
-    fails it from below."""
-    from repro.analysis.framecount import expected_seg_repair_frames
-
-    n, loss, size = 8, 0.05, 96_000
-    n_ops = 2 if SMOKE else 4
-
-    def main(env):
-        env.comm.use_collectives(bcast="mcast-seg-nack")
-        for _ in range(n_ops):
-            out = yield from env.comm.bcast(
-                bytes(size) if env.rank == 0 else None, 0)
-            assert len(out) == size
-        return True
-
-    clean = run_spmd(n, main, params=QUIET_AUTO, seed=SEED)
-    lossy = run_spmd(n, main, params=replace(QUIET_AUTO, loss=loss),
-                     seed=SEED)
-    assert all(clean.returns) and all(lossy.returns)
-    assert lossy.stats["drops_lossy"] > 0
-    measured = lossy.stats["frames_sent"] - clean.stats["frames_sent"]
-    nsegs = plan_transport(size, QUIET_AUTO).nsegs
-    expected = n_ops * expected_seg_repair_frames(n, nsegs, loss)
-    assert expected / 3 <= measured <= 1.5 * expected, (
-        f"measured {measured} repair frames outside the tightened model "
-        f"band [{expected / 3:.0f}, {1.5 * expected:.0f}]")
-    return measured, expected
-
-
-# ---------------------------------------------------------------- latency
-def _sweep():
-    series = []
-    for seg_bytes in SEG_BYTES:
-        params = replace(FAST_ETHERNET_SWITCH, segment_bytes=seg_bytes)
-        series.append(measure_bcast(
-            "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-            seed=SEED, params=params, window_us=WINDOW_US,
-            setup=_lossy_setup(_seg_unit),
-            label=f"seg-nack seg={seg_bytes} lossy"))
-    series.append(measure_bcast(
-        "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=AUTO, window_us=WINDOW_US,
-        setup=_lossy_setup(_seg_unit), label="seg-nack auto lossy"))
-    series.append(measure_bcast(
-        "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
-        label="seg-nack lossless"))
-    series.append(measure_bcast(
-        "mcast-seg-nack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=AUTO, window_us=WINDOW_US,
-        label="seg-nack auto lossless"))
-    series.append(measure_bcast(
-        "mcast-ack", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
-        setup=_lossy_setup(_datagram_unit), label="ack (PVM-style) lossy"))
-    # PR 3: the payload-aware policy layer against the fixed entries it
-    # chooses between (loss-free, like the selection's frame model).
-    series.append(measure_bcast(
-        "p2p-binomial", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=FAST_ETHERNET_SWITCH, window_us=WINDOW_US,
-        label="p2p-binomial lossless"))
-    series.append(measure_bcast(
-        "auto", "switch", NPROCS, SIZES, reps=BENCH_REPS,
-        seed=SEED, params=AUTO, window_us=WINDOW_US,
-        label="auto (policy) lossless"))
-    return series
-
-
-def _run():
-    nsegs = check_frame_formula()
-    seg_frames, ack_frames = check_fewer_frames_than_ack()
-    auto_pairs = check_auto_plan_frames()
-    repair_measured, repair_expected = check_repair_model_band()
-    series = _sweep()
-    auto_str = "; ".join(f"{s}B: {a}<={b}" for s, a, b in auto_pairs)
-    notes = (f"{SIZES[-1]} B = {nsegs} segments; induced loss at odd "
-             f"ranks; seg-nack repaired it in {seg_frames} frames vs "
-             f"ack's {ack_frames}; auto-plan payload frames vs ack "
-             f"under symmetric loss: {auto_str}; seeded-loss repair "
-             f"traffic {repair_measured} frames vs model "
-             f"{repair_expected:.0f} (band [x/3, 1.5x])")
-    return series, notes
+SCALE = "gate" if SMOKE else "full"
 
 
 def test_segmented_bcast(benchmark):
-    series, notes = benchmark.pedantic(_run, rounds=1, iterations=1)
-
-    seg = by_label(series, f"seg-nack seg={SEG_BYTES[-1]} lossy")
-    auto = by_label(series, "seg-nack auto lossy")
-    auto_clean = by_label(series, "seg-nack auto lossless")
-    fixed_clean = by_label(series, "seg-nack lossless")
-    ack = by_label(series, "ack (PVM-style) lossy")
-    p2p_clean = by_label(series, "p2p-binomial lossless")
-    policy = by_label(series, "auto (policy) lossless")
-
-    # The payload-aware "auto" tracks the impl it chose per size: the
-    # p2p tree below the frame-count crossover (modulo the log2(N)-deep
-    # scout announcement), the segmented multicast above it.
-    from repro.mpi.collective.policy import auto_impl
-    for size in policy.sizes:
-        chosen = auto_impl("bcast", size, NPROCS, AUTO)
-        ref = (p2p_clean if chosen == "p2p-binomial" else auto_clean)
-        assert policy.median(size) <= ref.median(size) * 1.35 + 400, (
-            f"auto bcast median {policy.median(size):.0f} us at {size} B "
-            f"vs chosen {chosen}'s {ref.median(size):.0f} us")
-
-    # Selective NACK repair beats whole-payload retransmission at the
-    # many-segment end — for the fixed per-segment plan AND the auto one.
-    big = SIZES[-1]
-    if not SMOKE:
-        assert len(plan_segments(big, SEG_BYTES[-1])) >= 32
-        assert seg.median(big) < ack.median(big)
-        assert auto.median(big) < ack.median(big)
-        # Below the crossover the auto plan's single batched datagram
-        # drops the per-segment receive tax the fixed plan still pays.
-        below = 12_000
-        assert auto_clean.median(below) < fixed_clean.median(below)
-
-    # Only the full sweep records results: the smoke run's single-point
-    # table must not overwrite the archived perf trajectory.
-    if not SMOKE:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        md = ["# segmented-bcast", "", f"_expectation_: {notes}", "",
-              markdown_table(series,
-                             title="segmented bcast median latency (us)")]
-        (RESULTS_DIR / "segmented-bcast.md").write_text("\n".join(md))
+    doc = benchmark.pedantic(run_area, args=("segmented-bcast",),
+                             kwargs={"scale": SCALE},
+                             rounds=1, iterations=1)
+    repair = find_series(doc, "repair")["metrics"]
     print()
-    print(table(series, title=f"segmented bcast (reps={BENCH_REPS}, "
-                              f"seed={SEED})"))
+    print(f"segmented-bcast [{SCALE}]: {len(doc['series'])} cases, "
+          f"all postconditions hold; seeded-loss repair "
+          f"{repair['frames_repair']} frames vs model "
+          f"{repair['frames_repair_expected']:.0f}")

@@ -1,15 +1,19 @@
-"""``repro.bench`` — the harness that regenerates every paper figure."""
+"""``repro.bench`` — the harness that regenerates every paper figure,
+plus the declarative sweep runner behind ``BENCH_<area>.json``."""
 
 from .figures import (FIGURES, MCAST_BINARY, MCAST_LINEAR, MPICH,
-                      PAPER_SIZES, run_figure)
+                      PAPER_SIZES, run_figure, sweep_markdown)
 from .harness import (Sample, Series, measure_allreduce, measure_barrier,
                       measure_bcast, measure_reduce)
 from .report import (ascii_plot, crossover, markdown_table, series_summary,
                      table)
+from .sweep import (diff_docs, dumps_canonical, load_areas, run_area)
 
 __all__ = [
     "FIGURES", "MCAST_BINARY", "MCAST_LINEAR", "MPICH", "PAPER_SIZES",
-    "Sample", "Series", "ascii_plot", "crossover", "markdown_table",
+    "Sample", "Series", "ascii_plot", "crossover", "diff_docs",
+    "dumps_canonical", "load_areas", "markdown_table",
     "measure_allreduce", "measure_barrier", "measure_bcast",
-    "measure_reduce", "run_figure", "series_summary", "table",
+    "measure_reduce", "run_area", "run_figure", "series_summary",
+    "sweep_markdown", "table",
 ]

@@ -9,10 +9,16 @@ sweeps — ``ablation`` (reliability schemes) and ``segcoll`` (the PR 3
 segmented reduce/allreduce vs their p2p defaults vs the payload-aware
 ``"auto"`` policy).
 
-The docs generator rides the same entry point::
+The docs generators and the sweep runner ride the same entry point::
 
-    python -m repro.bench.cli registry-doc            # write docs/collectives.md
-    python -m repro.bench.cli registry-doc --check    # exit 1 if stale
+    python -m repro.bench.cli registry-doc          # docs/collectives.md
+    python -m repro.bench.cli registry-doc --check  # exit 1 if stale
+    python -m repro.bench.cli sweep segmented-bcast # BENCH_*.json + md
+    python -m repro.bench.cli sweep --check         # the bench-gate diff
+    python -m repro.bench.cli bench-doc        # docs/benchmarks-index.md
+
+``sweep`` with no area names runs every registered area (see
+``docs/BENCHMARKS.md`` for the document schema and gate tolerances).
 """
 
 from __future__ import annotations
@@ -80,14 +86,96 @@ def _registry_doc_cmd(output: str, check: bool) -> int:
     return 0
 
 
+def _bench_doc_cmd(output: str, check: bool) -> int:
+    from .bench_doc import benchmarks_index_doc, default_index_path
+
+    path = pathlib.Path(output) if output else default_index_path()
+    fresh = benchmarks_index_doc()
+    if check:
+        current = path.read_text() if path.exists() else ""
+        if current != fresh:
+            print(f"{path} is stale — regenerate with "
+                  f"'python -m repro.bench.cli bench-doc'",
+                  file=sys.stderr)
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(fresh)
+    print(f"wrote {path}")
+    return 0
+
+
+def _sweep_cmd(areas, scale: str, base_seed: int, workers,
+               results_dir, check: bool) -> int:
+    from . import sweep
+    from .figures import sweep_markdown
+
+    known = sweep.load_areas()
+    targets = areas or sorted(known)
+    unknown = [a for a in targets if a not in known]
+    if unknown:
+        print(f"unknown area(s) {unknown}; known: {sorted(known)}",
+              file=sys.stderr)
+        return 2
+    results = (pathlib.Path(results_dir) if results_dir
+               else sweep.results_dir())
+    failed = False
+    for area in targets:
+        doc = sweep.run_area(area, scale=scale, base_seed=base_seed,
+                             workers=workers)
+        json_path = sweep.baseline_path(area, results)
+        md_path = results / f"{area}.md"
+        if check:
+            if not json_path.exists():
+                print(f"{area}: no committed baseline {json_path} — "
+                      f"run 'make bench-baselines'", file=sys.stderr)
+                failed = True
+                continue
+            import json as _json
+            baseline = _json.loads(json_path.read_text())
+            report = sweep.diff_docs(baseline, doc)
+            for note in report.improvements:
+                print(f"{area}: improvement: {note}")
+            for err in report.errors:
+                print(f"{area}: {err}", file=sys.stderr)
+            stale_md = (not md_path.exists()
+                        or md_path.read_text()
+                        != sweep_markdown(baseline))
+            if stale_md:
+                print(f"{area}: {md_path} does not match the committed "
+                      f"baseline — regenerate with 'make "
+                      f"bench-baselines'", file=sys.stderr)
+            if report.errors or stale_md:
+                failed = True
+            else:
+                print(f"{area}: ok — {report.matched} series within "
+                      f"tolerance")
+        else:
+            results.mkdir(parents=True, exist_ok=True)
+            json_path.write_text(sweep.dumps_canonical(doc))
+            md_path.write_text(sweep_markdown(doc))
+            print(f"wrote {json_path}")
+            print(f"wrote {md_path}")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate figures from 'MPI Collective Operations "
                     "over IP Multicast' (IPPS 2000) on the simulator.")
-    parser.add_argument("command", nargs="?", choices=["registry-doc"],
+    parser.add_argument("command", nargs="?",
+                        choices=["registry-doc", "sweep", "bench-doc"],
                         help="registry-doc: (re)generate the "
-                             "docs/collectives.md reference")
+                             "docs/collectives.md reference; sweep: run "
+                             "declarative benchmark sweeps into "
+                             "BENCH_<area>.json; bench-doc: (re)generate "
+                             "docs/benchmarks-index.md from the "
+                             "committed baselines")
+    parser.add_argument("areas", nargs="*",
+                        help="sweep: area names (default: all "
+                             "registered areas)")
     parser.add_argument("--figure", choices=sorted(FIGURES),
                         help="which figure/table to regenerate")
     parser.add_argument("--all", action="store_true",
@@ -98,15 +186,39 @@ def main(argv=None) -> int:
     parser.add_argument("--markdown", action="store_true",
                         help="emit Markdown tables (for EXPERIMENTS.md)")
     parser.add_argument("--check", action="store_true",
-                        help="registry-doc: fail if the doc is stale "
-                             "instead of rewriting it")
+                        help="registry-doc/bench-doc: fail if the doc "
+                             "is stale instead of rewriting it; sweep: "
+                             "diff the fresh run against the committed "
+                             "BENCH_*.json baselines (the bench gate) "
+                             "instead of writing")
     parser.add_argument("--output", default=None,
-                        help="registry-doc: target path (default "
-                             "docs/collectives.md)")
+                        help="registry-doc/bench-doc: target path "
+                             "(default docs/collectives.md / "
+                             "docs/benchmarks-index.md)")
+    parser.add_argument("--scale", choices=["gate", "full"],
+                        default="gate",
+                        help="sweep: gate = the tiny committed-baseline "
+                             "sweep; full = the big one")
+    parser.add_argument("--base-seed", type=int, default=1,
+                        help="sweep: base seed the per-case seeds are "
+                             "derived from (baselines use 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep: worker processes (default: cpu "
+                             "count capped at 8; 1 = inline)")
+    parser.add_argument("--results-dir", default=None,
+                        help="sweep: where BENCH_*.json + <area>.md "
+                             "live (default benchmarks/results/)")
     args = parser.parse_args(argv)
 
     if args.command == "registry-doc":
         return _registry_doc_cmd(args.output, args.check)
+    if args.command == "bench-doc":
+        return _bench_doc_cmd(args.output, args.check)
+    if args.command == "sweep":
+        return _sweep_cmd(args.areas, args.scale, args.base_seed,
+                          args.workers, args.results_dir, args.check)
+    if args.areas:
+        parser.error("area arguments are only valid with 'sweep'")
     if not args.figure and not args.all:
         parser.error("pass --figure <id>, --all, or registry-doc")
 

@@ -253,3 +253,67 @@ def run_figure(figure_id: str, **kwargs):
         raise KeyError(f"unknown figure {figure_id!r}; "
                        f"known: {sorted(FIGURES)}") from None
     return fn(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# sweep-document rendering (benchmarks/results/<area>.md)
+# ---------------------------------------------------------------------------
+def _sweep_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value).replace("|", "\\|")
+
+
+def sweep_markdown(doc: dict) -> str:
+    """Render one sweep document (`BENCH_<area>.json`) as Markdown.
+
+    This replaces the bespoke benchmark scripts' ad-hoc prints: the
+    committed tables under ``benchmarks/results/`` are generated from
+    the canonical JSON, one section per case family.  Long string
+    metrics (dispatch logs, audit trails) render as footnotes below
+    their family's table.
+    """
+    area = doc["area"]
+    lines = [
+        f"# {area}", "",
+        f"_{doc['title']}_", "",
+        f"_sweep_: schema `{doc['schema']}`, scale `{doc['scale']}`, "
+        f"base seed {doc['base_seed']}, {len(doc['series'])} cases — "
+        f"generated from `BENCH_{area}.json` by "
+        f"`python -m repro.bench.cli sweep {area}` "
+        f"(see `docs/BENCHMARKS.md`)", "",
+    ]
+    families: dict[str, list] = {}
+    for entry in doc["series"]:
+        families.setdefault(entry["family"], []).append(entry)
+    for family in sorted(families):
+        entries = families[family]
+        axes = sorted({name for e in entries for name in e["axes"]})
+        metrics = sorted({name for e in entries
+                          for name in e["metrics"]})
+        short = [m for m in metrics
+                 if not any(isinstance(e["metrics"].get(m), str)
+                            and len(e["metrics"][m]) > 60
+                            for e in entries)]
+        long = [m for m in metrics if m not in short]
+        lines.append(f"## {family}")
+        lines.append("")
+        header = axes + short
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join(
+            "---" if h in axes else "---:" for h in header) + "|")
+        for entry in entries:
+            cells = [_sweep_cell(entry["axes"].get(a, "—"))
+                     for a in axes]
+            cells += [_sweep_cell(entry["metrics"][m])
+                      if m in entry["metrics"] else "—"
+                      for m in short]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+        for m in long:
+            for entry in entries:
+                if m in entry["metrics"]:
+                    lines.append(f"* **{entry['key']}** `{m}`: "
+                                 f"{entry['metrics'][m]}")
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The generated benchmarks index can never go stale: regenerate
+``docs/benchmarks-index.md`` from the committed ``BENCH_*.json``
+baselines and diff it against the committed file (CI runs the same
+check via ``make docs-check``)."""
+
+import pathlib
+
+from repro.bench.bench_doc import (benchmarks_index_doc,
+                                   default_index_path)
+from repro.bench.sweep import results_dir
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def test_default_index_path_points_into_this_repo():
+    assert default_index_path() == REPO / "docs" / "benchmarks-index.md"
+
+
+def test_benchmarks_index_is_current():
+    committed = default_index_path().read_text()
+    assert committed == benchmarks_index_doc(), (
+        "docs/benchmarks-index.md is stale — regenerate with "
+        "'python -m repro.bench.cli bench-doc'")
+
+
+def test_index_covers_every_committed_baseline():
+    doc = benchmarks_index_doc()
+    baselines = sorted(results_dir().glob("BENCH_*.json"))
+    assert baselines, "no committed BENCH_*.json baselines"
+    for path in baselines:
+        area = path.stem[len("BENCH_"):]
+        assert f"## {area}" in doc
+        assert f"BENCH_{area}.json" in doc
+        assert f"{area}.md" in doc
+
+
+def test_index_empty_results_dir_fallback(tmp_path):
+    doc = benchmarks_index_doc(results=tmp_path)
+    assert "No committed `BENCH_*.json` baselines yet" in doc
+
+
+def test_cli_check_mode_detects_staleness(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    target = tmp_path / "benchmarks-index.md"
+    assert main(["bench-doc", "--output", str(target)]) == 0
+    assert main(["bench-doc", "--check", "--output",
+                 str(target)]) == 0
+    target.write_text(target.read_text() + "\nstale edit\n")
+    assert main(["bench-doc", "--check", "--output",
+                 str(target)]) == 1
