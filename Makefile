@@ -35,7 +35,8 @@ smoke: test
 		benchmarks/bench_segmented_bcast.py \
 		benchmarks/bench_segmented_reduce.py \
 		benchmarks/bench_fabric_scaling.py \
-		benchmarks/bench_deep_fabric.py
+		benchmarks/bench_deep_fabric.py \
+		benchmarks/bench_sim_throughput.py
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -68,8 +69,10 @@ bench-baselines:
 # The big sweeps (not committed; honours REPRO_BENCH_REPS).
 bench-full:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py \
+		benchmarks/bench_segmented_reduce.py \
 		benchmarks/bench_fabric_scaling.py \
-		benchmarks/bench_deep_fabric.py
+		benchmarks/bench_deep_fabric.py \
+		benchmarks/bench_sim_throughput.py
 
 # Regenerate the derived docs (the collective registry reference and
 # the benchmarks index).

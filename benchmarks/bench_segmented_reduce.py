@@ -1,279 +1,43 @@
-"""Segmented reduce/allreduce vs the MPICH p2p trees, plus "auto".
+"""Segmented reduce/allreduce vs the MPICH p2p trees, plus "auto" —
+re-ported onto the declarative sweep harness.
 
-PR 3's reduction-side sweep.  Three claims, asserted per size:
+The ``segmented-reduce`` area of :mod:`repro.bench.sweep_areas` carries
+PR 3's reduction-side cases and asserts the old script's claims as
+postconditions:
 
-1. **payload frames** — the turn-based ``mcast-seg-combine`` reduce puts
-   no more payload-carrying frames on the wire than the binomial tree
-   (each contribution crosses the wire once either way; the segment
-   envelope never costs an extra frame), and the composed segmented
-   allreduce beats ``p2p-reduce-bcast`` outright at every size: its
-   broadcast half is **one** multicast stream against the tree's
-   ``N-1`` re-sends (``N`` payload streams vs ``2(N-1)``).  Loss-free
-   counts must match the closed forms in
-   :mod:`repro.analysis.framecount` exactly.
+1. **payload frames** — the turn-based ``mcast-seg-combine`` reduce
+   puts no more payload-carrying frames on the wire than the binomial
+   tree, and the composed segmented allreduce beats
+   ``p2p-reduce-bcast`` outright at every size; loss-free stream
+   counts match the closed forms in :mod:`repro.analysis.framecount`
+   exactly (in-runner asserts);
 2. **selective repair** — under induced first-copy loss the segmented
-   reduce re-multicasts only the lost datagrams' segments, not whole
-   payloads.
-3. **"auto" is never a worse choice** — the payload-aware policy
-   resolves reduce/allreduce locally (zero announcement cost) and its
-   measured median latency tracks the best fixed entry at every size;
-   its per-call choices (``comm.impl_log``) match the closed-form
-   prediction.
+   reduce re-multicasts only the lost datagrams' segments, never whole
+   payloads (in-runner asserts);
+3. **"auto" is never a worse choice** — the payload-aware policy's
+   pick matches the closed-form prediction and its measured total
+   frames never exceed the best fixed entry; its median latency tracks
+   the faster fixed entry.
 
-``REPRO_SEG_SMOKE=1`` shrinks the sweep to a single size so CI can
-exercise the entry point in seconds (results are not archived then).
+``REPRO_SEG_SMOKE=1`` selects the tiny gate scale (the committed
+``BENCH_segmented-reduce.json`` baseline); results are persisted only
+by ``make bench-baselines``.
 """
 
 import os
-from dataclasses import replace
 
-import numpy as np
-
-from _common import REPS, SEED, RESULTS_DIR, by_label
-
-from repro import run_spmd
-from repro.analysis.framecount import (model_p2p_tree_frames,
-                                       model_seg_allreduce_frames,
-                                       model_seg_reduce_frames)
-from repro.bench import markdown_table, run_figure, table
-from repro.bench.figures import SEGCOLL_PARAMS
-from repro.core.segment import plan_segments
-from repro.mpi.collective.policy import auto_impl
-from repro.mpi.ops import SUM
-from repro.simnet import quiet
-from repro.simnet.calibration import FAST_ETHERNET_SWITCH
+from repro.bench.sweep import find_series, run_area
 
 SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
-
-NPROCS = 4
-SIZES = [12_000] if SMOKE else [1000, 12_000, 48_000]
-BENCH_REPS = min(REPS, 3) if SMOKE else max(8, REPS // 2)
-
-QUIET = quiet(FAST_ETHERNET_SWITCH)
-QUIET_AUTO = quiet(replace(FAST_ETHERNET_SWITCH, segment_bytes="auto"))
-
-
-def _payload(size):
-    return np.full(max(1, size // 8), 2.0, dtype=np.float64)
-
-
-def _drop_first_copies(want=None):
-    """Induced loss: drop the first copy of each ``mcast-seg`` datagram
-    whose leading segment index satisfies ``want`` (default: all of
-    them); second copies — the repairs — pass."""
-    seen = set()
-
-    def flt(dgram):
-        if dgram.kind != "mcast-seg":
-            return False
-        seg = dgram.payload[2]
-        first = seg[0].index if isinstance(seg, tuple) else seg.index
-        if want is not None and not want(first):
-            return False
-        key = (dgram.payload[0], dgram.payload[1], first)
-        if key in seen:
-            return False
-        seen.add(key)
-        return True
-
-    return flt
-
-
-def _run_once(op, impl, size, params, lossy_ranks=(), drop=None):
-    """One quiet single-shot collective; returns (stats, ok, impl_log)."""
-    expected = float(sum(range(1, NPROCS + 1)))
-
-    def main(env):
-        env.comm.use_collectives(**{op: impl})
-        if env.rank in lossy_ranks:
-            env.comm.mcast.data_sock.drop_filter = (
-                drop() if drop else _drop_first_copies())
-        arr = np.full(max(1, size // 8), float(env.rank + 1),
-                      dtype=np.float64)
-        if op == "reduce":
-            out = yield from env.comm.reduce(arr, SUM, 0)
-            ok = out is None or bool(np.all(out == expected))
-        else:
-            out = yield from env.comm.allreduce(arr, SUM)
-            ok = bool(np.all(out == expected))
-        return ok, list(env.comm.impl_log)
-
-    result = run_spmd(NPROCS, main, params=params, seed=SEED)
-    oks = [ok for ok, _log in result.returns]
-    return result.stats, all(oks), result.returns[0][1]
-
-
-def _null_frames(params):
-    """Wireup-only frame baseline: (p2p frames, total frames) of a run
-    with no collective, subtracted from the measured runs."""
-    result = run_spmd(NPROCS, lambda env: iter(()), params=params,
-                      seed=SEED)
-    return (result.stats["frames_by_kind"].get("p2p", 0),
-            result.stats["frames_sent"])
-
-
-def _p2p_payload_frames(stats, baseline):
-    return stats["frames_by_kind"].get("p2p", 0) - baseline[0]
-
-
-def _seg_payload_frames(stats):
-    return stats["frames_by_kind"].get("mcast-seg", 0)
-
-
-def check_frame_formulas():
-    """Loss-free payload+control frames must match the closed forms."""
-    size = SIZES[-1]
-    nsegs = len(plan_segments(size, QUIET.segment_bytes))
-
-    def seg_frames(stats):
-        kinds = stats["frames_by_kind"]
-        return sum(kinds.get(k, 0) for k in
-                   ("mcast-seg", "mcast-seg-hdr", "seg-report", "seg-dec",
-                    "scout"))
-
-    stats, ok, _ = _run_once("reduce", "mcast-seg-combine", size, QUIET)
-    assert ok
-    assert seg_frames(stats) == model_seg_reduce_frames(NPROCS, nsegs)
-    assert _seg_payload_frames(stats) == (NPROCS - 1) * nsegs
-    assert stats["retransmissions"] == 0
-
-    stats, ok, _ = _run_once("allreduce", "mcast-seg-nack", size, QUIET)
-    assert ok
-    assert seg_frames(stats) == model_seg_allreduce_frames(NPROCS, nsegs)
-    assert _seg_payload_frames(stats) == NPROCS * nsegs
-    return nsegs
-
-
-def check_payload_frames_vs_p2p():
-    """Criterion: at every size, segmented reduce matches (and the
-    segmented allreduce beats) the p2p defaults in payload frames."""
-    baseline = _null_frames(QUIET_AUTO)
-    rows = []
-    for size in SIZES:
-        p2p_stats, ok1, _ = _run_once("reduce", "p2p-binomial", size,
-                                      QUIET_AUTO)
-        seg_stats, ok2, _ = _run_once("reduce", "mcast-seg-combine",
-                                      size, QUIET_AUTO)
-        assert ok1 and ok2
-        p2p = _p2p_payload_frames(p2p_stats, baseline)
-        seg = _seg_payload_frames(seg_stats)
-        assert seg <= p2p, (f"seg reduce sent {seg} payload frames at "
-                            f"{size} B, p2p only {p2p}")
-        assert p2p == model_p2p_tree_frames(QUIET_AUTO, NPROCS, size)
-
-        p2p_stats, ok1, _ = _run_once("allreduce", "p2p-reduce-bcast",
-                                      size, QUIET_AUTO)
-        seg_stats, ok2, _ = _run_once("allreduce", "mcast-seg-nack",
-                                      size, QUIET_AUTO)
-        assert ok1 and ok2
-        p2p_ar = _p2p_payload_frames(p2p_stats, baseline)
-        seg_ar = _seg_payload_frames(seg_stats)
-        assert seg_ar < p2p_ar, (f"seg allreduce sent {seg_ar} payload "
-                                 f"frames at {size} B vs p2p's {p2p_ar}")
-        rows.append((size, seg, p2p, seg_ar, p2p_ar))
-    return rows
-
-
-def check_selective_repair():
-    """Induced loss at the (only) consumer costs repairs proportional to
-    what was actually lost — never a whole-payload resend."""
-    size = SIZES[-1]
-
-    def drop_some():
-        return _drop_first_copies(want=lambda first: first % 8 == 3)
-
-    # the root is the only rank that consumes reduce data: loss anywhere
-    # else is free (bystanders post no descriptors), loss at the root is
-    # what the NACK repair must absorb
-    stats, ok, _ = _run_once("reduce", "mcast-seg-combine", size, QUIET,
-                             lossy_ranks=(0,), drop=drop_some)
-    assert ok
-    nsegs = len(plan_segments(size, QUIET.segment_bytes))
-    lost_per_turn = len([i for i in range(nsegs) if i % 8 == 3])
-    # exactly the union was re-multicast, once per contributing turn
-    assert stats["retransmissions"] == (NPROCS - 1) * lost_per_turn
-    assert (stats["frames_by_kind"]["mcast-seg"]
-            == (NPROCS - 1) * (nsegs + lost_per_turn))
-
-
-def check_auto_choices():
-    """The policy's per-call choice matches the closed-form prediction,
-    and the choice is never worse than the best fixed entry in measured
-    **total** frames on the wire — the policy's own metric, payload and
-    control alike (control is exactly what makes p2p win small
-    payloads)."""
-    baseline = _null_frames(QUIET_AUTO)
-    picks = []
-    for size in SIZES:
-        for op, p2p_impl, seg_impl in (
-                ("reduce", "p2p-binomial", "mcast-seg-combine"),
-                ("allreduce", "p2p-reduce-bcast", "mcast-seg-nack")):
-            expect = auto_impl(op, size, NPROCS, QUIET_AUTO)
-            stats, ok, log = _run_once(op, "auto", size, QUIET_AUTO)
-            assert ok
-            chosen = [name for o, name in log if o == op]
-            assert expect in chosen, (op, size, log, expect)
-            p2p_stats, _, _ = _run_once(op, p2p_impl, size, QUIET_AUTO)
-            seg_stats, _, _ = _run_once(op, seg_impl, size, QUIET_AUTO)
-            best = min(p2p_stats["frames_sent"],
-                       seg_stats["frames_sent"]) - baseline[1]
-            mine = stats["frames_sent"] - baseline[1]
-            assert mine <= best, (
-                f"auto {op} at {size} B put {mine} frames on the wire; "
-                f"the best fixed entry needs only {best}")
-            picks.append((op, size, expect))
-    return picks
-
-
-def _sweep():
-    series, notes = run_figure("segcoll", reps=BENCH_REPS, seed=SEED,
-                               sizes=SIZES)
-    return series, notes
-
-
-def _run():
-    nsegs = check_frame_formulas()
-    frame_rows = check_payload_frames_vs_p2p()
-    check_selective_repair()
-    picks = check_auto_choices()
-    series, fig_notes = _sweep()
-    frames_str = "; ".join(
-        f"{s}B: reduce {a}<={b}, allreduce {c}<{d}"
-        for s, a, b, c, d in frame_rows)
-    picks_str = "; ".join(f"{op}@{s}B->{name}" for op, s, name in picks)
-    notes = (f"{SIZES[-1]} B = {nsegs} segments; payload frames vs p2p: "
-             f"{frames_str}; auto picks: {picks_str}. {fig_notes}")
-    return series, notes
+SCALE = "gate" if SMOKE else "full"
 
 
 def test_segmented_reduce(benchmark):
-    series, notes = benchmark.pedantic(_run, rounds=1, iterations=1)
-
-    # "auto" runs the impl the closed-form policy predicts, so its
-    # measured median must track that fixed series (resolution is local
-    # and free for reduce/allreduce; slack covers jitter-draw skew
-    # between separately seeded runs).
-    for op in ("reduce", "allreduce"):
-        fixed = {"p2p-binomial": by_label(series, f"{op} p2p"),
-                 "p2p-reduce-bcast": by_label(series, f"{op} p2p"),
-                 "mcast-seg-combine": by_label(series, f"{op} seg"),
-                 "mcast-seg-nack": by_label(series, f"{op} seg")}
-        auto = by_label(series, f"{op} auto")
-        for size in auto.sizes:
-            # predict with the SAME params the sweep measured under
-            chosen = fixed[auto_impl(op, size, NPROCS, SEGCOLL_PARAMS)]
-            assert auto.median(size) <= chosen.median(size) * 1.15, (
-                f"auto {op} median {auto.median(size):.0f} us at "
-                f"{size} B vs its chosen impl's "
-                f"{chosen.median(size):.0f} us")
-
-    if not SMOKE:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        md = ["# segmented-reduce", "", f"_expectation_: {notes}", "",
-              markdown_table(series,
-                             title="segmented reduce/allreduce median "
-                                   "latency (us)")]
-        (RESULTS_DIR / "segmented-reduce.md").write_text("\n".join(md))
+    doc = benchmark.pedantic(run_area, args=("segmented-reduce",),
+                             kwargs={"scale": SCALE},
+                             rounds=1, iterations=1)
+    repair = find_series(doc, "repair")["metrics"]
     print()
-    print(table(series, title=f"segmented reduce/allreduce "
-                              f"(reps={BENCH_REPS}, seed={SEED})"))
+    print(f"segmented-reduce [{SCALE}]: {len(doc['series'])} cases, all "
+          f"postconditions hold; selective repair re-sent "
+          f"{repair['retransmissions']} segment batches")

@@ -1,0 +1,45 @@
+"""Simulator speed: events/sec and wall-clock of thousand-host fabrics.
+
+The ``sim-throughput`` area of :mod:`repro.bench.sweep_areas` measures
+the machine running the simulation rather than the simulated network:
+
+1. **workload** — one flat segmented broadcast across ``tree:8x8``
+   (64 hosts) and ``tree:32x32`` (1024 hosts): events dispatched, peak
+   pending records and the final sim clock are exact (any increase is
+   a kernel regression caught by ``make bench-gate``); wall seconds
+   and events/sec are banded wide (``wall*`` / ``rate*`` — see
+   docs/BENCHMARKS.md) so only order-of-magnitude collapses fail;
+2. **gate-sweep** — wall seconds of the whole ``deep-fabric`` gate
+   sweep with the analytic fluid backend on (``fluid``) and off
+   (``des``): the committed pair records the backend's speedup, and a
+   postcondition keeps fluid at least 2x ahead.
+
+Postconditions also enforce the smoke budget: the 1024-host broadcast
+must finish inside ``THRU_BUDGET_S`` wall seconds.
+
+``REPRO_SEG_SMOKE=1`` selects the tiny gate scale (the committed
+``BENCH_sim-throughput.json`` baseline); the full scale adds
+``tree:16x16``.
+"""
+
+import os
+
+from repro.bench.sweep import find_series, run_area
+
+SMOKE = os.environ.get("REPRO_SEG_SMOKE") == "1"
+SCALE = "gate" if SMOKE else "full"
+
+
+def test_sim_throughput(benchmark):
+    doc = benchmark.pedantic(run_area, args=("sim-throughput",),
+                             kwargs={"scale": SCALE},
+                             rounds=1, iterations=1)
+    big = find_series(doc, "workload", fabric="tree:32x32")["metrics"]
+    fluid = find_series(doc, "gate-sweep", mode="fluid")["metrics"]
+    des = find_series(doc, "gate-sweep", mode="des")["metrics"]
+    print()
+    print(f"sim-throughput [{SCALE}]: 1024-host bcast dispatched "
+          f"{big['events']} events in {big['wall_s']:.2f}s "
+          f"({big['rate_events_per_s']:.0f}/s, peak {big['peak_live']} "
+          f"live); deep-fabric gate sweep {fluid['wall_s']:.2f}s fluid "
+          f"vs {des['wall_s']:.2f}s DES")

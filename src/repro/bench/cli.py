@@ -16,6 +16,8 @@ The docs generators and the sweep runner ride the same entry point::
     python -m repro.bench.cli sweep segmented-bcast # BENCH_*.json + md
     python -m repro.bench.cli sweep --check         # the bench-gate diff
     python -m repro.bench.cli bench-doc        # docs/benchmarks-index.md
+    python -m repro.bench.cli profile deep-fabric \
+        "trunk-hier[fabric=tree:2x2x2,op=gather]"   # cProfile one case
 
 ``sweep`` with no area names runs every registered area (see
 ``docs/BENCHMARKS.md`` for the document schema and gate tolerances).
@@ -160,22 +162,80 @@ def _sweep_cmd(areas, scale: str, base_seed: int, workers,
     return 1 if failed else 0
 
 
+def _profile_cmd(args_list, scale: str, base_seed: int, sort: str,
+                 limit: int) -> int:
+    """cProfile one sweep case (or a whole area) and print the stats."""
+    import cProfile
+    import pstats
+
+    from . import sweep
+
+    if not args_list:
+        print("profile needs an area name (and optionally a case key)",
+              file=sys.stderr)
+        return 2
+    area, case = args_list[0], (args_list[1] if len(args_list) > 1
+                                else None)
+    known = sweep.load_areas()
+    if area not in known:
+        print(f"unknown area {area!r}; known: {sorted(known)}",
+              file=sys.stderr)
+        return 2
+    profiler = cProfile.Profile()
+    if case is None:
+        profiler.enable()
+        sweep.run_area(area, scale=scale, base_seed=base_seed,
+                       workers=1, check=True)
+        profiler.disable()
+        target = f"area {area!r} [{scale}]"
+    else:
+        for family in known[area].families(scale):
+            for axes in sweep.expand(family.axes):
+                if sweep.case_key(family.name, axes) == case:
+                    seed = sweep.case_seed(area, base_seed,
+                                           case)
+                    profiler.enable()
+                    family.runner(scale=scale, seed=seed, **axes)
+                    profiler.disable()
+                    target = f"case {case!r} of {area!r} [{scale}]"
+                    break
+            else:
+                continue
+            break
+        else:
+            keys = [sweep.case_key(f.name, a)
+                    for f in known[area].families(scale)
+                    for a in sweep.expand(f.axes)]
+            print(f"no case {case!r} in area {area!r} at scale "
+                  f"{scale!r}; cases: {keys}", file=sys.stderr)
+            return 2
+    print(f"profile of {target}, sorted by {sort}:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate figures from 'MPI Collective Operations "
                     "over IP Multicast' (IPPS 2000) on the simulator.")
     parser.add_argument("command", nargs="?",
-                        choices=["registry-doc", "sweep", "bench-doc"],
+                        choices=["registry-doc", "sweep", "bench-doc",
+                                 "profile"],
                         help="registry-doc: (re)generate the "
                              "docs/collectives.md reference; sweep: run "
                              "declarative benchmark sweeps into "
                              "BENCH_<area>.json; bench-doc: (re)generate "
                              "docs/benchmarks-index.md from the "
-                             "committed baselines")
+                             "committed baselines; profile: cProfile one "
+                             "sweep case (or a whole area) and print the "
+                             "hot spots")
     parser.add_argument("areas", nargs="*",
                         help="sweep: area names (default: all "
-                             "registered areas)")
+                             "registered areas); profile: an area name "
+                             "plus an optional case key like "
+                             "'trunk-flat[fabric=tree:2x2x2,op=bcast]'")
     parser.add_argument("--figure", choices=sorted(FIGURES),
                         help="which figure/table to regenerate")
     parser.add_argument("--all", action="store_true",
@@ -208,6 +268,11 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", default=None,
                         help="sweep: where BENCH_*.json + <area>.md "
                              "live (default benchmarks/results/)")
+    parser.add_argument("--sort", default="cumulative",
+                        help="profile: pstats sort key "
+                             "(default cumulative)")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="profile: rows of stats to print")
     args = parser.parse_args(argv)
 
     if args.command == "registry-doc":
@@ -217,6 +282,9 @@ def main(argv=None) -> int:
     if args.command == "sweep":
         return _sweep_cmd(args.areas, args.scale, args.base_seed,
                           args.workers, args.results_dir, args.check)
+    if args.command == "profile":
+        return _profile_cmd(args.areas, args.scale, args.base_seed,
+                            args.sort, args.limit)
     if args.areas:
         parser.error("area arguments are only valid with 'sweep'")
     if not args.figure and not args.all:

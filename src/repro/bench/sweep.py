@@ -6,7 +6,10 @@ plus a runner that measures one case on the simulator.  Cases fan out
 across worker processes, each seeded deterministically from the area
 name, the base seed and the case key — so the resulting document is
 bit-for-bit identical across reruns and across worker counts (results
-are collected in case order, never completion order).
+are collected in case order, never completion order).  The one
+sanctioned exception: metrics named ``wall*`` / ``rate*`` measure the
+host machine (wall seconds, events/sec) and vary run to run — the
+gate bands them wide (:data:`WALL_REL_TOL`) instead of exactly.
 
 :func:`run_area` collects every case into one canonical, versioned
 ``BENCH_<area>.json`` document (frame / trunk-frame / latency / repair
@@ -16,9 +19,10 @@ ad-hoc assertions in the bespoke ``benchmarks/bench_*.py`` scripts.
 
 :func:`diff_docs` is the regression gate behind ``make bench-gate``:
 exact metrics (frame counts, retransmissions, dispatch strings) must
-match the committed baseline bit-for-bit, latency metrics may drift
-inside a documented band (:data:`REL_TOL` / :data:`ABS_TOL_US`), and
-new or removed series fail outright.  ``docs/BENCHMARKS.md`` documents
+match the committed baseline bit-for-bit, latency and wall/rate
+metrics may drift inside documented bands (:data:`REL_TOL` /
+:data:`ABS_TOL_US` / :data:`WALL_REL_TOL`), and new or removed series
+fail outright.  ``docs/BENCHMARKS.md`` documents
 the schema and the gate contract field by field.
 """
 
@@ -38,7 +42,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 __all__ = [
-    "SCHEMA", "SCALES", "REL_TOL", "ABS_TOL_US", "Family", "AreaSpec",
+    "SCHEMA", "SCALES", "REL_TOL", "ABS_TOL_US", "WALL_REL_TOL",
+    "Family", "AreaSpec",
     "AREAS", "register_area", "load_areas", "expand", "case_key",
     "case_seed", "run_area", "run_meta", "dumps_canonical",
     "find_series", "metric", "DiffReport", "diff_docs", "results_dir",
@@ -61,6 +66,16 @@ LATENCY_PREFIX = "latency"
 REL_TOL = 0.25
 #: absolute latency slack of the gate, microseconds
 ABS_TOL_US = 100.0
+
+#: ``wall*`` metrics are host wall-clock seconds (higher is worse) and
+#: ``rate*`` metrics are throughput rates (lower is worse).  Unlike
+#: simulated latencies they measure the machine running the gate, so
+#: their band is deliberately huge — it exists to catch order-of-
+#: magnitude performance collapses (an accidental O(n^2) kernel, a
+#: disabled fluid backend), not scheduler jitter.
+WALL_PREFIX = "wall"
+RATE_PREFIX = "rate"
+WALL_REL_TOL = 3.0          # fail only past 4x the committed value
 
 #: the base seed every committed baseline was generated with
 DEFAULT_BASE_SEED = 1
@@ -324,6 +339,10 @@ def diff_docs(baseline: dict, fresh: dict, rel_tol: float = REL_TOL,
       ``baseline * (1 + rel_tol) + abs_tol_us``; a fresh value below
       ``baseline * (1 - rel_tol) - abs_tol_us`` is recorded as an
       improvement (not an error — but refresh the baseline);
+    * ``wall*`` metrics (host wall-clock seconds, higher worse) and
+      ``rate*`` metrics (throughput, lower worse) use the deliberately
+      huge :data:`WALL_REL_TOL` band — they gate against performance
+      collapses, not scheduler jitter;
     * every other numeric metric is exact: any increase is an error,
       any decrease an improvement note;
     * string metrics (e.g. auto-dispatch sequences) compare exactly.
@@ -371,6 +390,22 @@ def diff_docs(baseline: dict, fresh: dict, rel_tol: float = REL_TOL,
                 elif fv < floor:
                     report.improvements.append(
                         f"{key}: {name} improved {bv:.1f} -> {fv:.1f}")
+            elif name.startswith(WALL_PREFIX):
+                if fv > bv * (1.0 + WALL_REL_TOL):
+                    report.errors.append(
+                        f"{key}: {name} collapsed: {fv:.3f} > "
+                        f"{bv:.3f} * {1 + WALL_REL_TOL:.0f}")
+                elif fv < bv * 0.5:
+                    report.improvements.append(
+                        f"{key}: {name} improved {bv:.3f} -> {fv:.3f}")
+            elif name.startswith(RATE_PREFIX):
+                if fv < bv / (1.0 + WALL_REL_TOL):
+                    report.errors.append(
+                        f"{key}: {name} collapsed: {fv:.0f} < "
+                        f"{bv:.0f} / {1 + WALL_REL_TOL:.0f}")
+                elif fv > bv * 2.0:
+                    report.improvements.append(
+                        f"{key}: {name} improved {bv:.0f} -> {fv:.0f}")
             else:
                 if fv > bv:
                     report.errors.append(

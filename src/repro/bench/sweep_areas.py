@@ -1,7 +1,8 @@
 """The in-tree sweep areas — the bespoke benchmark scripts re-ported
 onto :mod:`repro.bench.sweep`.
 
-Three areas, one per former script:
+Five areas — one per former bespoke script, plus the simulator's own
+speed:
 
 * ``segmented-bcast`` (was ``benchmarks/bench_segmented_bcast.py``):
   frame counts of the segmented NACK-repair broadcast vs the PVM-style
@@ -14,7 +15,22 @@ Three areas, one per former script:
 * ``deep-fabric`` (was ``bench_deep_fabric.py``): exact trunk models
   for flat and hierarchical collectives on three-tier and
   heterogeneous trees, hierarchy trunk wins, auto dispatch, and the
-  loss-model closed loop.
+  loss-model closed loop;
+* ``segmented-reduce`` (was ``bench_segmented_reduce.py``): payload
+  frames of the turn-based segmented reduce/allreduce vs the MPICH
+  binomial trees, selective segment repair under induced loss, and
+  the ``"auto"`` never-worse postcondition over frames and latency;
+* ``sim-throughput`` (new with the speed overhaul): wall-clock and
+  events/sec of a 1024-host broadcast plus the deep-fabric gate sweep
+  with the analytic fluid backend on vs off.  Event/clock metrics are
+  exact; ``wall*``/``rate*`` metrics are banded wide in
+  :func:`repro.bench.sweep.diff_docs` and so are the one deliberate
+  exception to gate documents being rerun-deterministic.
+
+Where a case asks only for a loss-free trunk-frame count that the
+coverage ledger marks exact, :mod:`repro.analysis.fluid` answers it
+analytically instead of simulating (``REPRO_FLUID=0`` forces the DES;
+``tests/test_fluid.py`` proves both paths emit identical documents).
 
 Every reproduction criterion the scripts used to ``assert`` inline is
 now either an in-runner assertion (correctness of the collective's
@@ -34,6 +50,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from ..analysis import fluid
 from ..analysis.framecount import (expected_seg_repair_frames,
                                    model_hier_frames,
                                    model_seg_allgather_trunk_frames,
@@ -54,6 +71,13 @@ FIXED = FAST_ETHERNET_SWITCH
 AUTO = replace(FAST_ETHERNET_SWITCH, segment_bytes="auto")
 QUIET = quiet(FIXED)
 QUIET_AUTO = quiet(AUTO)
+
+
+def _fluid_enabled() -> bool:
+    """May the analytic fluid backend stand in for the DES?  On by
+    default; ``REPRO_FLUID=0`` forces every case to simulate (used by
+    the parity tests to prove both paths produce the same document)."""
+    return os.environ.get("REPRO_FLUID", "1") != "0"
 
 
 def _env_reps(default: int) -> int:
@@ -394,13 +418,25 @@ def _bcast_trunk(topology, nprocs, impl, size, n_ops, seed):
     return result.stats["frames_trunk"]
 
 
-def fab_trunk_case(scale, seed, engine, size):
-    """Trunk frames of ONE bcast, isolating channel-setup IGMP by
-    differencing a two-op and a one-op run (quiet, deterministic)."""
-    impl = _FAB_ENGINE[engine]
+def _fab_per_call_des(impl, size, seed):
+    """Per-call trunk frames measured by the simulator (two-op minus
+    one-op, isolating channel-setup IGMP)."""
     one = _bcast_trunk(FAB_TOPOLOGY, FAB_NPROCS, impl, size, 1, seed)
     two = _bcast_trunk(FAB_TOPOLOGY, FAB_NPROCS, impl, size, 2, seed)
-    return {"frames_trunk_call": two - one}
+    return two - one
+
+
+def fab_trunk_case(scale, seed, engine, size):
+    """Trunk frames of ONE bcast (quiet, deterministic).  The fluid
+    backend answers when its model is exact (same integer, no
+    simulation); ``REPRO_FLUID=0`` forces the DES."""
+    impl = _FAB_ENGINE[engine]
+    if _fluid_enabled():
+        trunk = fluid.trunk_frames_per_call("bcast", impl, FAB_SEG_OF,
+                                            0, size, QUIET_AUTO)
+        if trunk is not None:
+            return {"frames_trunk_call": trunk}
+    return {"frames_trunk_call": _fab_per_call_des(impl, size, seed)}
 
 
 def fab_latency_case(scale, seed, impl, size):
@@ -620,19 +656,30 @@ def _deep_per_call(topology, n, op, impl, size, seed):
             - _deep_trunk(topology, n, op, impl, size, 1, seed))
 
 
-def deep_flat_case(scale, seed, fabric, op):
-    n, _seg_of, _paths = DEEP_FABRICS[fabric]
+def _deep_case(scale, seed, fabric, op, impl):
+    """One per-call trunk measurement, fluid-first: when the frame
+    model for (op, impl) is exact, the analytic backend supplies the
+    integer the DES would measure (the area postconditions assert the
+    equality whenever the DES does run); otherwise — estimate-grade
+    models, lossy platforms, ``REPRO_FLUID=0`` — fall back to the
+    two-op-minus-one-op simulation."""
+    n, seg_of, paths = DEEP_FABRICS[fabric]
     size = _deep_size(scale)
-    trunk = _deep_per_call(fabric, n, op, DEEP_FLAT_IMPL[op], size,
-                           seed)
-    return {"frames_trunk_call": trunk}
+    if _fluid_enabled():
+        trunk = fluid.trunk_frames_per_call(op, impl, seg_of, 0, size,
+                                            QUIET_AUTO, paths)
+        if trunk is not None:
+            return {"frames_trunk_call": trunk}
+    return {"frames_trunk_call":
+            _deep_per_call(fabric, n, op, impl, size, seed)}
+
+
+def deep_flat_case(scale, seed, fabric, op):
+    return _deep_case(scale, seed, fabric, op, DEEP_FLAT_IMPL[op])
 
 
 def deep_hier_case(scale, seed, fabric, op):
-    n, _seg_of, _paths = DEEP_FABRICS[fabric]
-    size = _deep_size(scale)
-    trunk = _deep_per_call(fabric, n, op, "hier-mcast", size, seed)
-    return {"frames_trunk_call": trunk}
+    return _deep_case(scale, seed, fabric, op, "hier-mcast")
 
 
 def deep_repair_case(scale, seed):
@@ -796,4 +843,383 @@ register_area(AreaSpec(
     postconditions=(deep_post_flat_models,
                     deep_post_hier_models_and_wins,
                     deep_post_repair_band),
+))
+
+
+# ===========================================================================
+# area: segmented-reduce
+# ===========================================================================
+SEGRED_NPROCS = 4
+
+#: op -> {role: registry impl} — the reduction-side rivals of PR 3
+_SEGRED_IMPLS = {
+    "reduce": {"p2p": "p2p-binomial", "seg": "mcast-seg-combine"},
+    "allreduce": {"p2p": "p2p-reduce-bcast", "seg": "mcast-seg-nack"},
+}
+
+
+def _segred_sizes(scale: str) -> tuple:
+    return (12_000,) if scale == "gate" else (1000, 12_000, 48_000)
+
+
+def _segred_reps(scale: str) -> int:
+    return 2 if scale == "gate" else max(8, _env_reps(20) // 2)
+
+
+def _segred_drop_unit(want=None):
+    """First-copy unit of each ``mcast-seg`` datagram whose leading
+    segment index satisfies ``want`` (default all) — the induced-loss
+    policy of the old ``bench_segmented_reduce.py``."""
+    def unit_of(dgram):
+        if dgram.kind != "mcast-seg":
+            return None
+        seg = dgram.payload[2]
+        first = seg[0].index if isinstance(seg, tuple) else seg.index
+        if want is not None and not want(first):
+            return None
+        return (dgram.payload[0], dgram.payload[1], first)
+    return unit_of
+
+
+def _segred_run(op, impl, size, params, seed, lossy_ranks=(), want=None):
+    """One quiet single-shot reduce/allreduce; asserts the numeric
+    result on every rank, returns (stats, impl_log of rank 0)."""
+    expected = float(sum(range(1, SEGRED_NPROCS + 1)))
+
+    def main(env):
+        env.comm.use_collectives(**{op: impl})
+        if env.rank in lossy_ranks:
+            env.comm.mcast.data_sock.drop_filter = _drop_first_copy(
+                _segred_drop_unit(want))
+        arr = np.full(max(1, size // 8), float(env.rank + 1),
+                      dtype=np.float64)
+        if op == "reduce":
+            out = yield from env.comm.reduce(arr, SUM, 0)
+            ok = out is None or bool(np.all(out == expected))
+        else:
+            out = yield from env.comm.allreduce(arr, SUM)
+            ok = bool(np.all(out == expected))
+        return ok, list(env.comm.impl_log)
+
+    result = run_spmd(SEGRED_NPROCS, main, params=params, seed=seed)
+    assert all(ok for ok, _log in result.returns), (op, impl, size)
+    return result.stats, result.returns[0][1]
+
+
+def _segred_null_frames(seed):
+    """Wireup-only frame baseline: (p2p frames, total frames) of a run
+    with no collective, subtracted from the measured runs."""
+    result = run_spmd(SEGRED_NPROCS, lambda env: iter(()),
+                      params=QUIET_AUTO, seed=seed)
+    return (result.stats["frames_by_kind"].get("p2p", 0),
+            result.stats["frames_sent"])
+
+
+def segred_frames_case(scale, seed, op, size):
+    """Payload frames on the wire: the segmented engine vs the p2p
+    default, loss-free (each contribution crosses the wire once either
+    way; the broadcast half of the segmented allreduce is ONE stream
+    against the tree's N-1 re-sends)."""
+    from ..analysis.framecount import model_p2p_tree_frames
+
+    base_p2p, _ = _segred_null_frames(seed)
+    p2p_stats, _ = _segred_run(op, _SEGRED_IMPLS[op]["p2p"], size,
+                               QUIET_AUTO, seed)
+    seg_stats, _ = _segred_run(op, _SEGRED_IMPLS[op]["seg"], size,
+                               QUIET_AUTO, seed)
+    p2p = p2p_stats["frames_by_kind"].get("p2p", 0) - base_p2p
+    seg = seg_stats["frames_by_kind"].get("mcast-seg", 0)
+    if op == "reduce":
+        assert p2p == model_p2p_tree_frames(QUIET_AUTO, SEGRED_NPROCS,
+                                            size)
+    return {"frames_payload_p2p": p2p, "frames_payload_seg": seg}
+
+
+def segred_formulas_case(scale, seed):
+    """Loss-free stream frames == the closed forms, with the fixed
+    per-segment plan (the formulas count segments exactly)."""
+    from ..analysis.framecount import (model_seg_allreduce_frames,
+                                       model_seg_reduce_frames)
+
+    size = _segred_sizes(scale)[-1]
+    nsegs = len(plan_segments(size, QUIET.segment_bytes))
+
+    def stream(stats):
+        kinds = stats["frames_by_kind"]
+        return sum(kinds.get(k, 0) for k in
+                   ("mcast-seg", "mcast-seg-hdr", "seg-report",
+                    "seg-dec", "scout"))
+
+    red_stats, _ = _segred_run("reduce", "mcast-seg-combine", size,
+                               QUIET, seed)
+    assert stream(red_stats) == model_seg_reduce_frames(SEGRED_NPROCS,
+                                                        nsegs)
+    assert red_stats["retransmissions"] == 0
+    ar_stats, _ = _segred_run("allreduce", "mcast-seg-nack", size,
+                              QUIET, seed)
+    assert stream(ar_stats) == model_seg_allreduce_frames(SEGRED_NPROCS,
+                                                          nsegs)
+    return {"nsegs": nsegs,
+            "frames_stream_reduce": stream(red_stats),
+            "frames_stream_allreduce": stream(ar_stats)}
+
+
+def segred_repair_case(scale, seed):
+    """Selective repair: induced loss at the root (the only consumer of
+    reduce data) re-multicasts exactly the lost segments, never whole
+    payloads."""
+    size = _segred_sizes(scale)[-1]
+    stats, _ = _segred_run("reduce", "mcast-seg-combine", size, QUIET,
+                           seed, lossy_ranks=(0,),
+                           want=lambda first: first % 8 == 3)
+    nsegs = len(plan_segments(size, QUIET.segment_bytes))
+    lost_per_turn = len([i for i in range(nsegs) if i % 8 == 3])
+    assert stats["retransmissions"] == (SEGRED_NPROCS - 1) * lost_per_turn
+    assert (stats["frames_by_kind"]["mcast-seg"]
+            == (SEGRED_NPROCS - 1) * (nsegs + lost_per_turn))
+    return {"retransmissions": stats["retransmissions"],
+            "frames_data": stats["frames_by_kind"]["mcast-seg"]}
+
+
+def segred_auto_case(scale, seed, op, size):
+    """The payload-aware policy: the per-call choice matches the
+    closed-form prediction, measured in **total** frames on the wire
+    (control traffic included — it is what makes p2p win small
+    payloads)."""
+    from ..mpi.collective.policy import auto_impl
+
+    _, base_total = _segred_null_frames(seed)
+    expect = auto_impl(op, size, SEGRED_NPROCS, QUIET_AUTO)
+    auto_stats, log = _segred_run(op, "auto", size, QUIET_AUTO, seed)
+    chosen = [name for o, name in log if o == op]
+    assert expect in chosen, (op, size, log, expect)
+    p2p_stats, _ = _segred_run(op, _SEGRED_IMPLS[op]["p2p"], size,
+                               QUIET_AUTO, seed)
+    seg_stats, _ = _segred_run(op, _SEGRED_IMPLS[op]["seg"], size,
+                               QUIET_AUTO, seed)
+    best = min(p2p_stats["frames_sent"],
+               seg_stats["frames_sent"]) - base_total
+    mine = auto_stats["frames_sent"] - base_total
+    return {"frames_auto": mine, "frames_best_fixed": best,
+            "pick": expect}
+
+
+def segred_latency_case(scale, seed, op, size):
+    """Median latencies of the p2p default, the segmented engine and
+    "auto" under the jittered platform (barrier-fenced reps)."""
+    import statistics
+
+    reps = _segred_reps(scale)
+    out = {}
+    for role, impl in (("p2p", _SEGRED_IMPLS[op]["p2p"]),
+                       ("seg", _SEGRED_IMPLS[op]["seg"]),
+                       ("auto", "auto")):
+        def main(env):
+            env.comm.use_collectives(**{op: impl})
+            durations = []
+            arr = np.full(max(1, size // 8), float(env.rank + 1),
+                          dtype=np.float64)
+            for _ in range(reps):
+                yield from env.comm.barrier()
+                start = env.now
+                if op == "reduce":
+                    yield from env.comm.reduce(arr, SUM, 0)
+                else:
+                    yield from env.comm.allreduce(arr, SUM)
+                durations.append(env.now - start)
+            return durations
+
+        result = run_spmd(SEGRED_NPROCS, main, params=AUTO, seed=seed)
+        per_rep = [max(d[i] for d in result.returns)
+                   for i in range(reps)]
+        out[f"latency_us_{role}"] = statistics.median(per_rep)
+    return out
+
+
+def _segred_families(scale):
+    sizes = _segred_sizes(scale)
+    ops = tuple(_SEGRED_IMPLS)
+    return [
+        Family("frames", {"op": ops, "size": sizes},
+               segred_frames_case),
+        Family("formulas", {}, segred_formulas_case),
+        Family("repair", {}, segred_repair_case),
+        Family("auto", {"op": ops, "size": sizes}, segred_auto_case),
+        Family("latency", {"op": ops, "size": sizes},
+               segred_latency_case),
+    ]
+
+
+def segred_post_payload_frames(doc):
+    """Segmented reduce never exceeds p2p in payload frames; the
+    composed segmented allreduce beats p2p outright at every size."""
+    for size in _segred_sizes(doc["scale"]):
+        red_seg = metric(doc, "frames", "frames_payload_seg",
+                         op="reduce", size=size)
+        red_p2p = metric(doc, "frames", "frames_payload_p2p",
+                         op="reduce", size=size)
+        assert red_seg <= red_p2p, (size, red_seg, red_p2p)
+        ar_seg = metric(doc, "frames", "frames_payload_seg",
+                        op="allreduce", size=size)
+        ar_p2p = metric(doc, "frames", "frames_payload_p2p",
+                        op="allreduce", size=size)
+        assert ar_seg < ar_p2p, (size, ar_seg, ar_p2p)
+
+
+def segred_post_auto_never_worse(doc):
+    """The policy's pick is never worse than the best fixed entry in
+    measured total frames — the auto-never-worse criterion."""
+    for size in _segred_sizes(doc["scale"]):
+        for op in _SEGRED_IMPLS:
+            mine = metric(doc, "auto", "frames_auto", op=op, size=size)
+            best = metric(doc, "auto", "frames_best_fixed", op=op,
+                          size=size)
+            assert mine <= best, (
+                f"auto {op} at {size} B put {mine} frames on the "
+                f"wire; the best fixed entry needs only {best}")
+
+
+def segred_post_auto_latency_tracks(doc):
+    """"auto" resolves reduce/allreduce locally (zero announcement
+    cost): its median must track the faster fixed entry (generous
+    slack — separately seeded jitter draws)."""
+    for size in _segred_sizes(doc["scale"]):
+        for op in _SEGRED_IMPLS:
+            auto = metric(doc, "latency", "latency_us_auto", op=op,
+                          size=size)
+            best = min(metric(doc, "latency", "latency_us_p2p", op=op,
+                              size=size),
+                       metric(doc, "latency", "latency_us_seg", op=op,
+                              size=size))
+            assert auto <= best * 1.5, (
+                f"auto {op} median {auto:.0f} us at {size} B vs best "
+                f"fixed {best:.0f} us")
+
+
+register_area(AreaSpec(
+    name="segmented-reduce",
+    title="Segmented reduce/allreduce vs the MPICH p2p trees, plus "
+          "the payload-aware auto policy",
+    families=_segred_families,
+    postconditions=(segred_post_payload_frames,
+                    segred_post_auto_never_worse,
+                    segred_post_auto_latency_tracks),
+))
+
+
+# ===========================================================================
+# area: sim-throughput
+# ===========================================================================
+#: topology -> rank count of the thousand-host throughput workloads
+THRU_FABRICS = {"tree:8x8": 64, "tree:32x32": 1024}
+THRU_SIZE = 24_000
+
+#: generous wall budget (seconds) for the 1024-host broadcast — the
+#: make-smoke guard: an order-of-magnitude kernel regression blows it,
+#: scheduler jitter on a loaded CI box does not
+THRU_BUDGET_S = 60.0
+
+
+def _thru_fabrics(scale: str) -> tuple:
+    if scale == "gate":
+        return tuple(THRU_FABRICS)
+    return ("tree:8x8", "tree:16x16", "tree:32x32")
+
+
+def _thru_nprocs(fabric: str) -> int:
+    if fabric in THRU_FABRICS:
+        return THRU_FABRICS[fabric]
+    segs, hosts = fabric.split(":")[1].split("x")
+    return int(segs) * int(hosts)
+
+
+def thru_workload_case(scale, seed, fabric):
+    """One flat segmented broadcast across the whole fabric: exact
+    event/clock counters (any increase is a kernel regression) plus
+    banded wall-clock and events/sec."""
+    import time
+
+    n = _thru_nprocs(fabric)
+
+    def main(env):
+        env.comm.use_collectives(bcast="mcast-seg-nack")
+        out = yield from env.comm.bcast(
+            bytes(THRU_SIZE) if env.rank == 0 else None, 0)
+        assert len(out) == THRU_SIZE
+        return True
+
+    t0 = time.perf_counter()
+    result = run_spmd(n, main, topology=fabric, params=QUIET_AUTO,
+                      seed=seed)
+    wall = time.perf_counter() - t0
+    assert all(result.returns)
+    sim = result.cluster.sim
+    return {
+        "events": sim.processed,
+        "peak_live": sim.peak_live,
+        "sim_clock_us": result.sim_time_us,
+        "wall_s": round(wall, 3),
+        "rate_events_per_s": round(sim.processed / wall, 1),
+    }
+
+
+def thru_sweep_case(scale, seed, mode):
+    """Wall seconds of the whole deep-fabric gate sweep, with the
+    analytic fluid backend answering eligible cases (``fluid``) and
+    with every case simulated (``des``).  The committed pair is the
+    recorded evidence of the backend's speedup."""
+    import time
+
+    from .sweep import run_area as _run_area
+
+    old = os.environ.get("REPRO_FLUID")
+    os.environ["REPRO_FLUID"] = "1" if mode == "fluid" else "0"
+    try:
+        t0 = time.perf_counter()
+        doc = _run_area("deep-fabric", scale="gate", workers=1,
+                        check=True)
+        wall = time.perf_counter() - t0
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_FLUID", None)
+        else:
+            os.environ["REPRO_FLUID"] = old
+    return {"cases": len(doc["series"]), "wall_s": round(wall, 3)}
+
+
+def _thru_families(scale):
+    return [
+        Family("workload", {"fabric": _thru_fabrics(scale)},
+               thru_workload_case),
+        Family("gate-sweep", {"mode": ("fluid", "des")},
+               thru_sweep_case),
+    ]
+
+
+def thru_post_smoke_budget(doc):
+    """The 1024-host broadcast completes inside the smoke budget."""
+    wall = metric(doc, "workload", "wall_s", fabric="tree:32x32")
+    assert wall < THRU_BUDGET_S, (
+        f"1024-host bcast took {wall:.1f}s — over the {THRU_BUDGET_S:.0f}s "
+        f"smoke budget; the kernel has regressed an order of magnitude")
+
+
+def thru_post_fluid_wins(doc):
+    """The analytic backend strictly beats running every case in the
+    DES (2x floor — the committed evidence shows ~5x)."""
+    fluid_wall = metric(doc, "gate-sweep", "wall_s", mode="fluid")
+    des_wall = metric(doc, "gate-sweep", "wall_s", mode="des")
+    assert metric(doc, "gate-sweep", "cases", mode="fluid") == \
+        metric(doc, "gate-sweep", "cases", mode="des")
+    assert fluid_wall * 2 <= des_wall, (
+        f"fluid sweep {fluid_wall:.3f}s vs DES {des_wall:.3f}s — the "
+        f"backend no longer pays for itself")
+
+
+register_area(AreaSpec(
+    name="sim-throughput",
+    title="Simulator speed: events/sec and wall-clock of thousand-host "
+          "fabrics, and the analytic-backend speedup",
+    families=_thru_families,
+    postconditions=(thru_post_smoke_budget, thru_post_fluid_wins),
 ))

@@ -77,12 +77,17 @@ class Segment:
     sliced for real, so one segment carries the whole object and the rest
     carry ``None`` — the *sizes* still follow the segmentation plan, so
     wire timing is identical to a byte payload of the same length.
+
+    Bytes-like payloads travel as zero-copy ``memoryview`` slices over
+    the sender's immutable buffer (:func:`repro.core.segment.fragment`);
+    :func:`reassemble` is the user boundary where ``bytes`` are
+    materialized again.
     """
 
     index: int     #: position in the stream, 0-based
     nsegs: int     #: total segments of this stream
     nbytes: int    #: user bytes accounted to this segment on the wire
-    chunk: Any     #: bytes slice, or the object (opaque), or None
+    chunk: Any     #: memoryview slice, or the object (opaque), or None
     opaque: bool = False
 
 
@@ -209,7 +214,12 @@ def round_namespace(*key) -> tuple[Callable, Callable]:
 
 
 def reassemble(segments: list[Segment]) -> Any:
-    """Rebuild the payload from a complete segment set (any order)."""
+    """Rebuild the payload from a complete segment set (any order).
+
+    This is the zero-copy pipeline's user boundary: the joined result
+    is a fresh ``bytes`` object even when the chunks are ``memoryview``
+    slices of the sender's buffer.
+    """
     if not segments:
         raise ValueError("cannot reassemble zero segments")
     segs = sorted(segments, key=lambda s: s.index)

@@ -199,19 +199,22 @@ def plan_transport(nbytes: int, params) -> TransportPlan:
 def fragment(obj: Any, segment_bytes: int) -> list[Segment]:
     """Fragment ``obj`` into :class:`Segment` chunks of ``segment_bytes``.
 
-    Bytes-like payloads are sliced for real (and round-trip through
-    :func:`reassemble` as ``bytes``); any other object is *opaque*:
-    segment 0 references it whole, later segments are placeholders whose
-    sizes keep the wire accounting exact.
+    Bytes-like payloads are sliced as zero-copy ``memoryview`` windows
+    over one immutable buffer (mutable inputs are snapshotted once, so
+    a caller-side ``bytearray`` mutation cannot corrupt in-flight
+    segments); :func:`reassemble` materializes ``bytes`` at the user
+    boundary.  Any other object is *opaque*: segment 0 references it
+    whole, later segments are placeholders whose sizes keep the wire
+    accounting exact.
     """
     nbytes = payload_bytes(obj)
     sizes = plan_segments(nbytes, segment_bytes)
     n = len(sizes)
     if isinstance(obj, (bytes, bytearray, memoryview)):
-        raw = bytes(obj)
+        view = memoryview(obj if isinstance(obj, bytes) else bytes(obj))
         out, off = [], 0
         for i, sz in enumerate(sizes):
-            out.append(Segment(i, n, sz, raw[off:off + sz]))
+            out.append(Segment(i, n, sz, view[off:off + sz]))
             off += sz
         return out
     return [Segment(i, n, sz, obj if i == 0 else None, opaque=True)

@@ -3,8 +3,11 @@
 The predicted-vs-measured repair loop (expected_seg_repair_frames vs
 ``NetStats.drops_lossy``) and every frame-count assertion in the benches
 only mean something if a (topology, params, seed) tuple replays the same
-run.  Three things silently break that: unseeded randomness, wall-clock
-reads, and iteration order of hash-based sets.
+run.  Four things silently break that: unseeded randomness, wall-clock
+reads, iteration order of hash-based sets, and iteration order of the
+frame-path registry dicts (MAC/multicast tables, membership refcounts,
+reassembly state) whose insertion order tracks traffic and frame-pool
+history rather than any canonical order.
 """
 
 from __future__ import annotations
@@ -34,7 +37,18 @@ Inside repro.simnet / repro.core / repro.mpi the rule flags:
   or comprehension without `sorted()` — hash order varies with
   PYTHONHASHSEED and insertion history.  Order-insensitive reductions
   (`sum`, `min`, `max`, `len`, `all`, `any`, `sorted`, `set`,
-  `frozenset`) over a generator are accepted.
+  `frozenset`) over a generator are accepted;
+* iterating a frame-path registry dict — an attribute whose name ends
+  in `_table`, `_refs` or `_reasm` (switch MAC/multicast tables, NIC
+  membership refcounts, IP reassembly state), its `.keys()` /
+  `.values()` / `.items()` view, or a local name bound from one via
+  `.get()` / `.setdefault()` — without `sorted()`.  Dicts preserve
+  insertion order, but for these registries insertion order is a
+  trace of traffic and recycled pooled frames, not a canonical order:
+  code whose output depends on it diverges between the batched DES
+  and the analytic fluid backend even at the same seed.  The same
+  order-insensitive consumers as for sets are accepted, plus set
+  comprehensions (building a set erases the order again).
 
 The regression test this rule protects is
 tests/test_determinism.py::test_lossy_tree_allreduce_reproducible: the
@@ -50,6 +64,12 @@ _TIME_FNS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
              "monotonic", "monotonic_ns"}
 _SET_METHODS = {"union", "intersection", "difference",
                 "symmetric_difference"}
+#: attribute-name suffixes of the frame-path registry dicts whose
+#: insertion order tracks traffic/pool history (switchdev._mac_table,
+#: switchdev._mcast_table, nic._mcast_refs, ipstack._reasm, ...)
+_REGISTRY_SUFFIXES = ("_table", "_refs", "_reasm")
+_DICT_VIEWS = {"keys", "values", "items"}
+_DICT_LOOKUPS = {"get", "setdefault"}
 _ORDER_FREE = {"sorted", "sum", "min", "max", "len", "all", "any",
                "set", "frozenset"}
 _DESETTERS = {"sorted", "list", "tuple"}     # rebinding launders a set
@@ -79,6 +99,43 @@ def _is_setlike(node: ast.AST, set_names: set[str]) -> bool:
         return (_is_setlike(node.left, set_names)
                 or _is_setlike(node.right, set_names))
     return False
+
+
+def _is_registrylike(node: ast.AST, reg_names: set[str]) -> bool:
+    """A frame-path registry dict, one of its views, or a name bound to
+    a (sub-)registry fetched out of one."""
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith(_REGISTRY_SUFFIXES)
+    if isinstance(node, ast.Name):
+        return node.id in reg_names
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and fn.attr in (
+                _DICT_VIEWS | _DICT_LOOKUPS):
+            return _is_registrylike(fn.value, reg_names)
+    return False
+
+
+def _registry_names(scope: ast.AST) -> set[str]:
+    """Names bound to a registry dict somewhere in ``scope`` (e.g.
+    ``refs = self._mcast_table.setdefault(group, {})``) and never
+    laundered through sorted()/list()/tuple()."""
+    names: set[str] = set()
+    laundered: set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets
+                   if isinstance(t, ast.Name)]
+        if not targets:
+            continue
+        if _is_registrylike(node.value, names):
+            names.update(targets)
+        elif (isinstance(node.value, ast.Call)
+              and isinstance(node.value.func, ast.Name)
+              and node.value.func.id in _DESETTERS):
+            laundered.update(targets)
+    return names - laundered
 
 
 def _set_names(scope: ast.AST) -> set[str]:
@@ -149,10 +206,11 @@ def check_file(src: SourceFile) -> list[Violation]:
             elif mod == "uuid" and attr == "uuid4":
                 flag(node, "uuid.uuid4 is nondeterministic entropy")
 
-    # unordered set iteration
+    # unordered set / registry-dict iteration
     scopes = [src.tree] + list(walk_functions(src.tree))
     for scope in scopes:
         names = _set_names(scope)
+        reg_names = _registry_names(scope)
         for node in ast.walk(scope):
             iters = []
             if isinstance(node, ast.For):
@@ -167,6 +225,15 @@ def check_file(src: SourceFile) -> list[Violation]:
                     flag(where, "iteration over a set without sorted() "
                                 "— hash order is not reproducible "
                                 "across runs/interpreters")
+                elif _is_registrylike(it, reg_names):
+                    # Building a set erases the order again, so a set
+                    # comprehension over a registry is fine.
+                    if isinstance(where, ast.SetComp):
+                        continue
+                    flag(where, "iteration over a frame-path registry "
+                                "dict without sorted() — its insertion "
+                                "order is a trace of traffic and frame-"
+                                "pool recycling, not a canonical order")
     # de-dup (nested scopes see the same For nodes)
     seen = set()
     unique = []

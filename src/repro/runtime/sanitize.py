@@ -135,9 +135,10 @@ def full_teardown(cluster: "Cluster", world: "MpiWorld") -> None:
             problems.append(
                 f"switch {switch.name}: snooped members remain for "
                 f"groups {stale} — somebody skipped an IGMP leave")
-    if cluster.sim._heap:
+    pending = len(cluster.sim._heap) + len(cluster.sim._nowq)
+    if pending:
         problems.append(
-            f"event heap not drained: {len(cluster.sim._heap)} "
+            f"event heap not drained: {pending} "
             f"entries remain after teardown")
     if problems:
         raise LeakError(

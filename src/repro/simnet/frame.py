@@ -14,7 +14,9 @@ rule) while remaining byte-accurate for timing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
+
+from .units import bytes_to_us
 
 __all__ = [
     "BROADCAST",
@@ -26,8 +28,11 @@ __all__ = [
     "ETH_MIN_PAYLOAD",
     "ETH_OVERHEAD",
     "Frame",
+    "FramePool",
     "is_multicast",
     "mcast_mac",
+    "release_frame",
+    "retain_frame",
     "wire_bytes",
 ]
 
@@ -76,13 +81,18 @@ def _next_frame_id() -> int:
     return _frame_counter
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A single Ethernet frame.
 
     ``size`` is the L2 payload length in bytes (an IP fragment, here);
     ``payload`` is the opaque object delivered to the receiver; ``kind`` is
     a short label used by traces and statistics ("data", "scout", ...).
+
+    Frames on the simulator's hot path come from a :class:`FramePool`
+    (``_pool`` set, ``_refs`` counting in-flight forks) and are recycled
+    when the last path releases them; directly-constructed frames — tests,
+    one-off tools — have ``_pool is None`` and retain/release are no-ops.
     """
 
     src: int
@@ -91,6 +101,9 @@ class Frame:
     payload: Any
     kind: str = "data"
     frame_id: int = field(default_factory=_next_frame_id)
+    _refs: int = field(default=1, repr=False, compare=False)
+    _pool: Optional["FramePool"] = field(default=None, repr=False,
+                                         compare=False)
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -103,10 +116,66 @@ class Frame:
 
     def wire_time_us(self, rate_mbps: float) -> float:
         """Serialization time of this frame at ``rate_mbps``."""
-        from .units import bytes_to_us
-
-        return bytes_to_us(self.wire_size, rate_mbps)
+        return bytes_to_us(wire_bytes(self.size), rate_mbps)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Frame#{self.frame_id}({self.kind} {self.src}->{self.dst} "
                 f"{self.size}B)")
+
+
+class FramePool:
+    """A free-list recycler for :class:`Frame` objects.
+
+    One pool is owned by each :class:`~repro.simnet.stats.NetStats` — the
+    object already shared by every device in a cluster — so frames can
+    never leak between concurrently-built simulations.  ``acquire`` pops a
+    dead frame off the free list and rewrites its slots (fresh
+    ``frame_id`` from the same global counter direct construction uses, so
+    id sequences are unchanged); devices hand the single reference along
+    the delivery chain, fork it with :func:`retain_frame` at multicast
+    fan-out points, and drop it with :func:`release_frame` at each
+    endpoint.  The last release clears ``payload`` (releasing the
+    datagram for GC) and returns the frame to the list.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list[Frame] = []
+
+    def acquire(self, src: int, dst: int, size: int, payload: Any,
+                kind: str) -> Frame:
+        free = self._free
+        if free:
+            frame = free.pop()
+            frame.src = src
+            frame.dst = dst
+            frame.size = size
+            frame.payload = payload
+            frame.kind = kind
+            frame.frame_id = _next_frame_id()
+            frame._refs = 1
+            return frame
+        frame = Frame(src, dst, size, payload, kind)
+        frame._pool = self
+        return frame
+
+
+def retain_frame(frame: Frame, extra: int) -> None:
+    """Add ``extra`` in-flight references (multicast fork points)."""
+    if frame._pool is not None:
+        frame._refs += extra
+
+
+def release_frame(frame: Frame) -> None:
+    """Drop one reference; the last one recycles the frame to its pool."""
+    pool = frame._pool
+    if pool is None:
+        return
+    refs = frame._refs - 1
+    if refs > 0:
+        frame._refs = refs
+    else:
+        frame._refs = 0
+        frame.payload = None
+        pool._free.append(frame)

@@ -27,7 +27,7 @@ import random
 from typing import Optional
 
 from .calibration import NetParams
-from .frame import Frame
+from .frame import Frame, release_frame, retain_frame
 from .kernel import Event, SimError, Simulator
 from .stats import NetStats
 
@@ -131,11 +131,19 @@ class SharedMedium:
     def _complete(self, tx: _Tx) -> None:
         self._active = None
         delivered = 0
-        for nic in self.nics:
-            if nic is not tx.nic:
-                if nic.deliver(tx.frame):
+        frame = tx.frame
+        kind = frame.kind
+        others = [nic for nic in self.nics if nic is not tx.nic]
+        if others:
+            # Every station gets its own copy of the frame (deliver
+            # consumes one reference whether the filter accepts or not).
+            retain_frame(frame, len(others) - 1)
+            for nic in others:
+                if nic.deliver(frame):
                     delivered += 1
-        if delivered == 0 and tx.frame.kind != "igmp":
+        else:
+            release_frame(frame)
+        if delivered == 0 and kind != "igmp":
             self.stats.drops_no_listener += 1
         tx.done.succeed(True)
         self._release_deferred()
@@ -148,6 +156,7 @@ class SharedMedium:
             tx.attempts += 1
             if tx.attempts >= self.params.max_attempts:
                 tx.done.fail(ExcessiveCollisions(tx.frame, tx.attempts))
+                release_frame(tx.frame)
                 continue
             self.stats.backoffs += 1
             k = min(tx.attempts, self.params.backoff_limit)

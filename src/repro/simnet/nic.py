@@ -17,7 +17,7 @@ from collections import deque
 from typing import Callable, Optional, Protocol
 
 from .calibration import NetParams
-from .frame import BROADCAST, Frame, is_multicast
+from .frame import BROADCAST, Frame, is_multicast, release_frame
 from .kernel import Event, Simulator
 from .stats import NetStats
 
@@ -144,10 +144,19 @@ class Nic:
                   or (is_multicast(dst) and dst in self._mcast_refs))
         if not accept:
             self.filtered_frames += 1
+            release_frame(frame)
             return False
         self.rx_frames += 1
         self.stats.frames_delivered += 1
         if self._receiver is not None:
             self.sim.schedule_call(self.params.per_frame_rx_us,
-                                   self._receiver, frame)
+                                   self._rx_dispatch, frame)
+        else:
+            release_frame(frame)
         return True
+
+    def _rx_dispatch(self, frame: Frame) -> None:
+        self._receiver(frame)
+        # This copy's journey ends here: the IP input has extracted the
+        # fragment, so the frame can go back to the pool.
+        release_frame(frame)

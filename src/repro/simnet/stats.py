@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .frame import FramePool
+
 __all__ = ["NetStats"]
 
 
@@ -39,6 +41,11 @@ class NetStats:
     #: switch-to-switch link, so a frame that traverses two trunks
     #: counts twice here)
     trunk_frames_by_kind: Counter = field(default_factory=Counter)
+    #: the cluster's frame recycler (not a counter — lives here because
+    #: NetStats is the one object every device in a cluster shares, which
+    #: scopes recycled frames to exactly one simulation)
+    frame_pool: FramePool = field(default_factory=FramePool, repr=False,
+                                  compare=False)
 
     def record_send(self, wire_size: int, kind: str) -> None:
         self.frames_sent += 1

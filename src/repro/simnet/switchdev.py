@@ -40,7 +40,8 @@ from __future__ import annotations
 from typing import Optional
 
 from .calibration import NetParams
-from .frame import BROADCAST, Frame, is_multicast
+from .frame import (BROADCAST, Frame, is_multicast, release_frame,
+                    retain_frame)
 from .kernel import Simulator
 from .link import HalfLink
 from .stats import NetStats
@@ -98,9 +99,23 @@ class Switch:
             return
         egress = self._egress_ports(port_idx, frame)
         self.frames_switched += 1
-        for idx in egress:
-            self.sim.schedule_call(self.params.switch_latency_us,
-                                   self._ports[idx].out.send, frame)
+        if not egress:
+            release_frame(frame)
+            return
+        # One scheduled record fans the frame to every interested port
+        # (the ports fork the frame: one extra reference per egress copy
+        # beyond the one the ingress path handed us).  The sends run in
+        # the same port order, at the same instant, with no intervening
+        # records — identical to the historical one-record-per-port
+        # schedule, minus the heap churn.
+        retain_frame(frame, len(egress) - 1)
+        ports = self._ports
+        self.sim.schedule_call(self.params.switch_latency_us, self._fanout,
+                               [ports[idx].out for idx in egress], frame)
+
+    def _fanout(self, outs: list[HalfLink], frame: Frame) -> None:
+        for out in outs:
+            out.send(frame)
 
     def _egress_ports(self, ingress: int, frame: Frame) -> list[int]:
         dst = frame.dst
@@ -141,10 +156,14 @@ class Switch:
         # other *trunk* port forwards the report/leave (hosts never see
         # IGMP — report suppression, as real snooping switches do).  The
         # fabric is a tree, so propagation cannot loop.
-        for port in self._ports:
-            if port.trunk and port.index != port_idx:
-                self.sim.schedule_call(self.params.switch_latency_us,
-                                       port.out.send, frame)
+        outs = [port.out for port in self._ports
+                if port.trunk and port.index != port_idx]
+        if not outs:
+            release_frame(frame)
+            return
+        retain_frame(frame, len(outs) - 1)
+        self.sim.schedule_call(self.params.switch_latency_us, self._fanout,
+                               outs, frame)
 
     # -- inspection -------------------------------------------------------
     def members_of(self, group: int) -> set[int]:

@@ -113,6 +113,39 @@ def test_det01_clean_with_sorted_iteration_and_no_wall_clock(tmp_path):
     assert "DET01" not in codes(v)
 
 
+def test_det01_triggers_on_registry_dict_iteration(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        class Switch:
+            def flood(self, group, ingress):
+                refs = self._mcast_table.setdefault(group, {})
+                for port in refs:
+                    self.push(port)
+                for mac, port in self._mac_table.items():
+                    self.learn(mac, port)
+    """})
+    det = [x for x in v if x.code == "DET01"]
+    assert len(det) == 2
+    assert all("registry" in x.message for x in det)
+
+
+def test_det01_clean_registry_iteration_when_sorted_or_setcomp(tmp_path):
+    v = lint_tree(tmp_path, {"repro/simnet/x.py": """\
+        class Switch:
+            def members_of(self, group):
+                refs = self._mcast_table.get(group, {})
+                return {i for i, n in refs.items() if n > 0}
+
+            def flood(self, group, ingress):
+                members = self._mcast_table.get(group)
+                return [i for i in sorted(members)
+                        if members[i] > 0 and i != ingress]
+
+            def census(self):
+                return sum(n for n in self._mcast_refs.values())
+    """})
+    assert "DET01" not in codes(v)
+
+
 def test_det01_ignores_modules_outside_sim_layers(tmp_path):
     v = lint_tree(tmp_path, {"repro/bench/x.py": """\
         import time

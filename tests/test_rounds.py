@@ -165,8 +165,8 @@ def test_reassembler_needed_subset():
     assert r.add(segs[1]) and r.add(segs[2])
     assert r.complete and r.missing() == set()
     assert [s.index for s in r.segments()] == [1, 2]
-    assert b"".join(s.chunk for s in r.segments()) == bytes(segs[1].chunk
-                                                            + segs[2].chunk)
+    assert b"".join(s.chunk for s in r.segments()) == (bytes(segs[1].chunk)
+                                                       + bytes(segs[2].chunk))
     with pytest.raises(ValueError):
         r.result()                                   # not the whole stream
 
