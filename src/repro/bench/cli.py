@@ -215,6 +215,74 @@ def _profile_cmd(args_list, scale: str, base_seed: int, sort: str,
     return 0
 
 
+def _trace_cmd(args_list, scale: str, base_seed: int, output) -> int:
+    """Run one sweep case under the flight recorder and export it
+    (Perfetto ``trace.json`` + per-rank ``report.txt``), checking the
+    per-collective frame attribution against the NetStats deltas."""
+    import os
+
+    from .. import obs
+    from . import sweep
+
+    if not args_list:
+        print("trace needs an area name and a case key",
+              file=sys.stderr)
+        return 2
+    area, case = args_list[0], (args_list[1] if len(args_list) > 1
+                                else None)
+    known = sweep.load_areas()
+    if area not in known:
+        print(f"unknown area {area!r}; known: {sorted(known)}",
+              file=sys.stderr)
+        return 2
+    cases = {sweep.case_key(f.name, axes): (f, axes)
+             for f in known[area].families(scale)
+             for axes in sweep.expand(f.axes)}
+    if case not in cases:
+        print(f"no case {case!r} in area {area!r} at scale {scale!r}; "
+              f"cases: {sorted(cases)}", file=sys.stderr)
+        return 2
+    family, axes = cases[case]
+    # Force the event-level simulator (the fluid backend sends no
+    # frames) and arm the recorder for every run_spmd inside the case.
+    saved = {k: os.environ.get(k) for k in (obs.TRACE_ENV, "REPRO_FLUID")}
+    os.environ[obs.TRACE_ENV] = "1"
+    os.environ["REPRO_FLUID"] = "0"
+    obs.drain_recorders()               # drop stale recorders, if any
+    try:
+        seed = sweep.case_seed(area, base_seed, case)
+        family.runner(scale=scale, seed=seed, **axes)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        recorders = obs.drain_recorders()
+    if not recorders:
+        print(f"case {case!r} ran no traced SPMD program",
+              file=sys.stderr)
+        return 1
+    exact = True
+    for run, rec in enumerate(recorders):
+        totals = dict(rec.frame_totals())
+        delta = {k: v for k, v in
+                 rec.stats_delta()["frames_by_kind"].items() if v}
+        ok = totals == delta
+        exact = exact and ok
+        print(f"run {run}: {len(rec.calls)} collective calls, "
+              f"{len(rec.events)} events; frame attribution "
+              f"{'exact' if ok else 'MISMATCH'}")
+        if rec.hang_report:
+            print(rec.hang_report, file=sys.stderr)
+    out = pathlib.Path(output) if output else (
+        pathlib.Path("trace_out") / case)
+    paths = obs.write_trace(out, recorders)
+    print(f"wrote {paths['trace']}")
+    print(f"wrote {paths['report']}")
+    return 0 if exact else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -222,7 +290,7 @@ def main(argv=None) -> int:
                     "over IP Multicast' (IPPS 2000) on the simulator.")
     parser.add_argument("command", nargs="?",
                         choices=["registry-doc", "sweep", "bench-doc",
-                                 "profile"],
+                                 "profile", "trace"],
                         help="registry-doc: (re)generate the "
                              "docs/collectives.md reference; sweep: run "
                              "declarative benchmark sweeps into "
@@ -230,11 +298,13 @@ def main(argv=None) -> int:
                              "docs/benchmarks-index.md from the "
                              "committed baselines; profile: cProfile one "
                              "sweep case (or a whole area) and print the "
-                             "hot spots")
+                             "hot spots; trace: run one sweep case under "
+                             "the flight recorder and export trace.json "
+                             "+ report.txt (see docs/OBSERVABILITY.md)")
     parser.add_argument("areas", nargs="*",
                         help="sweep: area names (default: all "
-                             "registered areas); profile: an area name "
-                             "plus an optional case key like "
+                             "registered areas); profile/trace: an area "
+                             "name plus a case key like "
                              "'trunk-flat[fabric=tree:2x2x2,op=bcast]'")
     parser.add_argument("--figure", choices=sorted(FIGURES),
                         help="which figure/table to regenerate")
@@ -254,7 +324,8 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None,
                         help="registry-doc/bench-doc: target path "
                              "(default docs/collectives.md / "
-                             "docs/benchmarks-index.md)")
+                             "docs/benchmarks-index.md); trace: output "
+                             "directory (default trace_out/<case-key>)")
     parser.add_argument("--scale", choices=["gate", "full"],
                         default="gate",
                         help="sweep: gate = the tiny committed-baseline "
@@ -285,6 +356,9 @@ def main(argv=None) -> int:
     if args.command == "profile":
         return _profile_cmd(args.areas, args.scale, args.base_seed,
                             args.sort, args.limit)
+    if args.command == "trace":
+        return _trace_cmd(args.areas, args.scale, args.base_seed,
+                          args.output)
     if args.areas:
         parser.error("area arguments are only valid with 'sweep'")
     if not args.figure and not args.all:

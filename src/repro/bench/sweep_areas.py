@@ -1216,10 +1216,46 @@ def thru_post_fluid_wins(doc):
         f"backend no longer pays for itself")
 
 
+def thru_post_trace_off_wall(doc):
+    """Tracing off costs ~nothing: the flight-recorder hooks on the
+    frame/round/dispatch hot paths are one predictable ``recorder is
+    None`` branch each, so with ``REPRO_TRACE`` unset the workload must
+    process the *exact* committed event count in wall time within the
+    usual band of the committed (pre-hook) baseline."""
+    import json
+
+    from .sweep import WALL_REL_TOL, baseline_path, find_series
+
+    path = baseline_path("sim-throughput")
+    if not path.exists():
+        return                  # nothing committed to hold against
+    baseline = json.loads(path.read_text())
+    if (baseline.get("scale") != doc.get("scale")
+            or baseline.get("base_seed") != doc.get("base_seed")):
+        return                  # ad-hoc run; the gate diff still applies
+    for fabric in _thru_fabrics(doc.get("scale", "gate")):
+        try:
+            base = find_series(baseline, "workload", fabric=fabric)
+            fresh = find_series(doc, "workload", fabric=fabric)
+        except KeyError:
+            continue
+        assert fresh["metrics"]["events"] == base["metrics"]["events"], (
+            f"workload[{fabric}]: processed {fresh['metrics']['events']} "
+            f"events vs the committed {base['metrics']['events']} — the "
+            f"tracing hooks must schedule nothing")
+        base_wall = base["metrics"]["wall_s"]
+        wall = fresh["metrics"]["wall_s"]
+        assert wall <= base_wall * (1.0 + WALL_REL_TOL), (
+            f"workload[{fabric}]: {wall:.3f}s wall vs committed "
+            f"{base_wall:.3f}s — tracing-off overhead regressed past "
+            f"the {WALL_REL_TOL:.0f}x band")
+
+
 register_area(AreaSpec(
     name="sim-throughput",
     title="Simulator speed: events/sec and wall-clock of thousand-host "
           "fabrics, and the analytic-backend speedup",
     families=_thru_families,
-    postconditions=(thru_post_smoke_budget, thru_post_fluid_wins),
+    postconditions=(thru_post_smoke_budget, thru_post_fluid_wins,
+                    thru_post_trace_off_wall),
 ))

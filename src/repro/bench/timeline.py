@@ -19,7 +19,7 @@ from typing import Callable, Optional
 
 from ..runtime import run_spmd
 from ..simnet.calibration import NetParams
-from ..simnet.stats import NetStats
+from ..simnet.trace import Tracer
 
 __all__ = ["WireEvent", "record_timeline", "ascii_timeline",
            "kinds_in_order"]
@@ -44,45 +44,29 @@ def record_timeline(n: int, main: Callable, *, topology: str = "switch",
     result.  Wire durations are computed from frame wire sizes at the
     cluster's link rate.
     """
-    events: list[WireEvent] = []
-    rate_holder: dict[str, float] = {}
-
-    def patch(cluster_stats: NetStats, rate_mbps: float) -> None:
-        orig = cluster_stats.record_send
-        rate_holder["rate"] = rate_mbps
-
-        def wrapped(wire_size: int, kind: str) -> None:
-            orig(wire_size, kind)
-            now = time_source()
-            events.append(WireEvent(
-                start_us=now,
-                duration_us=wire_size / (rate_mbps / 8.0),
-                kind=kind))
-
-        cluster_stats.record_send = wrapped  # type: ignore[method-assign]
-
-    # We need the simulator clock inside the patch; run_spmd builds the
-    # cluster internally, so hook via a wrapper program whose first act
-    # installs the patch.
-    time_box: dict[str, object] = {}
-
-    def time_source() -> float:
-        sim = time_box.get("sim")
-        return sim.now if sim is not None else 0.0  # type: ignore
-
-    installed = {"done": False}
+    # NetStats is one shared object per cluster, so attaching a Tracer
+    # from any rank sees every host's sends; run_spmd builds the cluster
+    # internally, so hook via a wrapper program whose first act attaches
+    # the tracer to the recorder slot (the old implementation monkey-
+    # patched ``record_send`` here and could not see frame addressing).
+    holder: dict[str, object] = {}
 
     def wrapper(env):
-        if not installed["done"]:
-            installed["done"] = True
-            time_box["sim"] = env.sim
-            patch(env.host.stats, env.host.params.rate_mbps)
+        if "tracer" not in holder:
+            holder["tracer"] = Tracer(env.sim, env.host.stats).install()
+            holder["rate"] = env.host.params.rate_mbps
         result = yield from main(env)
         return result
 
     run_spmd(n, wrapper, topology=topology, params=params, seed=seed,
              collectives=collectives)
-    out = [e for e in events if e.start_us >= skip_before_us]
+    tracer: Tracer = holder["tracer"]  # type: ignore[assignment]
+    rate_mbps: float = holder["rate"]  # type: ignore[assignment]
+    tracer.uninstall()
+    out = [WireEvent(start_us=e.time_us,
+                     duration_us=e.size / (rate_mbps / 8.0),
+                     kind=e.kind)
+           for e in tracer.events if e.time_us >= skip_before_us]
     out.sort(key=lambda e: e.start_us)
     return out
 

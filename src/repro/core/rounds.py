@@ -346,7 +346,7 @@ def _post_round(channel, ndatagrams: int) -> list:
 
 def _consume_round(comm, channel, posted, ndatagrams: int, seq,
                    reasm: Reassembler, last_index: int,
-                   drain_us: float) -> Generator:
+                   drain_us: float, rnd: int = 0) -> Generator:
     """Drain one round's datagrams into ``reasm``.
 
     ``posted`` is the pre-arm descriptor window; up to ``ndatagrams``
@@ -375,6 +375,10 @@ def _consume_round(comm, channel, posted, ndatagrams: int, seq,
             timer = comm.sim.timeout(drain_us)
             yield comm.sim.any_of([ev, timer])
             if not ev.triggered:
+                rec = comm.host.stats.recorder
+                if rec is not None:
+                    rec.drain_timeout(comm.sim.now, comm.host.addr, rnd,
+                                      len(posted) - i)
                 channel.cancel_data(posted[i:])
                 return
         _src, got_seq, payload = yield from channel.wait_data(ev)
@@ -415,6 +419,8 @@ def serve_rounds(comm, channel, seq, root: int, segments, batch: int,
     / ``rnd_token`` come from :func:`round_namespace`.
     """
     params = comm.host.params
+    rec = comm.host.stats.recorder
+    addr = comm.host.addr
     nsegs = len(segments)
     datagram_bytes = (batch * max(s.nbytes for s in segments)
                       + batch * SEG_HEADER_BYTES + MCAST_HEADER_BYTES)
@@ -424,32 +430,54 @@ def serve_rounds(comm, channel, seq, root: int, segments, batch: int,
     while True:
         rbatch = batch if rnd == 0 else repair_batch(params, len(plan),
                                                      batch)
-        yield from scout_gather_binary(comm, channel, seq, root,
-                                       phase=arm_phase(rnd))
-        for i, chunk in enumerate(chunk_plan(plan, rbatch)):
-            delay = pacer.delay_before(i)
-            if delay > 0:
-                yield comm.sim.timeout(delay)
-            yield from channel.send_batch([segments[j] for j in chunk],
-                                          seq, retransmit=rnd > 0)
-        reports = yield from channel.wait_tagged(receivers, seq,
-                                                 "seg-report",
-                                                 rnd_token(rnd))
+        rtok = None
+        if rec is not None:
+            rtok = rec.round_begin(comm.sim.now, addr, "serve", seq, rnd,
+                                   len(plan))
+            rec.round_open(comm.sim.now, addr, f"serve:seq{seq}:r{rnd}",
+                           None)
+        try:
+            yield from scout_gather_binary(comm, channel, seq, root,
+                                           phase=arm_phase(rnd))
+            for i, chunk in enumerate(chunk_plan(plan, rbatch)):
+                delay = pacer.delay_before(i)
+                if delay > 0:
+                    if rec is not None:
+                        rec.pacing_stall(comm.sim.now, addr, delay)
+                    yield comm.sim.timeout(delay)
+                yield from channel.send_batch(
+                    [segments[j] for j in chunk], seq, retransmit=rnd > 0)
+            reports = yield from channel.wait_tagged(receivers, seq,
+                                                     "seg-report",
+                                                     rnd_token(rnd))
+        finally:
+            if rec is not None:
+                rec.round_close(comm.sim.now, addr,
+                                f"serve:seq{seq}:r{rnd}")
         union: set[int] = set()
         budgets = []
         for missing, budget in reports.values():
             union.update(missing)
             budgets.append(budget)
         pacer.note_budgets(budgets)
+        if rec is not None:
+            for src in sorted(reports):
+                missing, budget = reports[src]
+                rec.nack_report(comm.sim.now, addr, src, rnd,
+                                tuple(missing), budget)
         if not union:
             decision = None
         elif rnd >= params.max_retransmits:
             decision = "abort"      # tell receivers before raising,
         else:                       # so nobody arms a dead round
             decision = tuple(sorted(union))
+        if rec is not None:
+            rec.repair_decision(comm.sim.now, addr, rnd, decision)
         for dst in sorted(receivers):
             yield from channel.send_decision(dst, seq, rnd_token(rnd),
                                              decision, nsegs)
+        if rec is not None:
+            rec.round_end(comm.sim.now, rtok)
         if decision is None:
             return
         if decision == "abort":
@@ -474,43 +502,65 @@ def follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
     bystander.
     """
     params = comm.host.params
+    rec = comm.host.stats.recorder
+    addr = comm.host.addr
     seg_bytes = resolved_segment_bytes(params)
     reasm = Reassembler(nsegs, needed=needed)
     plan = list(range(nsegs))
     rnd = 0
-    while True:
-        rbatch = batch if rnd == 0 else repair_batch(params, len(plan),
-                                                     batch)
-        if reasm.complete:
-            posted, ndatagrams = [], 0
-        else:
-            ndatagrams = len(chunk_plan(plan, rbatch))
-            posted = _post_round(channel, ndatagrams)
-        yield from scout_gather_binary(comm, channel, seq, root,
-                                       phase=arm_phase(rnd))
-        if ndatagrams:
-            dgram_bytes = (min(rbatch, len(plan))
-                           * (seg_bytes + SEG_HEADER_BYTES)
-                           + MCAST_HEADER_BYTES)
-            drain_us = round_drain_timeout_us(
-                params, ndatagrams, dgram_bytes,
-                trunk_hops=getattr(channel, "trunk_hops", 0),
-                trunk_us_per_byte=getattr(channel, "trunk_us_per_byte",
-                                          None))
-            yield from _consume_round(comm, channel, posted, ndatagrams,
-                                      seq, reasm, last_index=plan[-1],
-                                      drain_us=drain_us)
-        yield from channel.send_report(root, seq, rnd_token(rnd),
-                                       reasm.missing(), nsegs)
-        decision = yield from channel.wait_tagged({root}, seq, "seg-dec",
-                                                  rnd_token(rnd))
-        plan_t = decision[root]
-        if plan_t is None:
-            return reasm
-        if plan_t == "abort":
-            raise RuntimeError(
-                f"rank {comm.rank}: root gave up repairing segmented "
-                f"transfer seq={seq}; still missing "
-                f"{sorted(reasm.missing())}")
-        plan = list(plan_t)
-        rnd += 1
+    if rec is not None:
+        rec.round_open(comm.sim.now, addr, f"follow:seq{seq}",
+                       reasm.missing)
+    try:
+        while True:
+            rbatch = batch if rnd == 0 else repair_batch(params,
+                                                         len(plan), batch)
+            rtok = None
+            if rec is not None:
+                rtok = rec.round_begin(comm.sim.now, addr, "follow", seq,
+                                       rnd, len(plan))
+            if reasm.complete:
+                posted, ndatagrams = [], 0
+            else:
+                ndatagrams = len(chunk_plan(plan, rbatch))
+                posted = _post_round(channel, ndatagrams)
+            yield from scout_gather_binary(comm, channel, seq, root,
+                                           phase=arm_phase(rnd))
+            if ndatagrams:
+                dgram_bytes = (min(rbatch, len(plan))
+                               * (seg_bytes + SEG_HEADER_BYTES)
+                               + MCAST_HEADER_BYTES)
+                drain_us = round_drain_timeout_us(
+                    params, ndatagrams, dgram_bytes,
+                    trunk_hops=getattr(channel, "trunk_hops", 0),
+                    trunk_us_per_byte=getattr(channel,
+                                              "trunk_us_per_byte", None))
+                yield from _consume_round(comm, channel, posted,
+                                          ndatagrams, seq, reasm,
+                                          last_index=plan[-1],
+                                          drain_us=drain_us, rnd=rnd)
+            if rec is not None:
+                rec.nack_sent(comm.sim.now, addr, rnd,
+                              tuple(sorted(reasm.missing())))
+            yield from channel.send_report(root, seq, rnd_token(rnd),
+                                           reasm.missing(), nsegs)
+            decision = yield from channel.wait_tagged({root}, seq,
+                                                      "seg-dec",
+                                                      rnd_token(rnd))
+            plan_t = decision[root]
+            if rec is not None:
+                rec.round_end(comm.sim.now, rtok,
+                              posted_hw=channel.data_sock
+                              .posted_high_water)
+            if plan_t is None:
+                return reasm
+            if plan_t == "abort":
+                raise RuntimeError(
+                    f"rank {comm.rank}: root gave up repairing segmented "
+                    f"transfer seq={seq}; still missing "
+                    f"{sorted(reasm.missing())}")
+            plan = list(plan_t)
+            rnd += 1
+    finally:
+        if rec is not None:
+            rec.round_close(comm.sim.now, addr, f"follow:seq{seq}")

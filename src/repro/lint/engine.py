@@ -121,9 +121,11 @@ def discover(paths: list[str]) -> list[Path]:
 def _rules():
     # Imported lazily so ``--explain`` works even if one rule module is
     # being edited; order fixes report order for equal (path, line).
-    from . import determinism, layering, leak, registry_check, tagspace
+    from . import (determinism, layering, leak, obs_pairing,
+                   registry_check, tagspace)
 
-    return [leak, determinism, layering, tagspace, registry_check]
+    return [leak, obs_pairing, determinism, layering, tagspace,
+            registry_check]
 
 
 def rule_codes() -> dict[str, object]:

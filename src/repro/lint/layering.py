@@ -22,6 +22,7 @@ SUMMARY = "import crosses the simnet/core/mpi/analysis layering"
 #: layer prefix -> repro prefixes it may import (any position)
 ALLOWED: dict[str, tuple[str, ...]] = {
     "repro.simnet": ("repro.simnet",),
+    "repro.obs": ("repro.simnet", "repro.obs"),
     "repro.core": ("repro.simnet", "repro.core"),
     "repro.mpi": ("repro.simnet", "repro.core", "repro.mpi"),
     "repro.analysis": ("repro.simnet", "repro.core", "repro.mpi",
@@ -51,6 +52,10 @@ EXPLAIN = """\
 Layer table (module prefix -> repro imports it may make):
 
     repro.simnet    -> repro.simnet only (the substrate is MPI-blind)
+    repro.obs       -> repro.simnet, repro.obs (the flight recorder
+                       consumes the substrate's hook vocabulary; the
+                       producer layers reach it only duck-typed through
+                       stats.recorder, never by import)
     repro.core      -> repro.simnet, repro.core
                        + allowlist: repro.mpi.datatypes, repro.mpi.ops,
                          repro.mpi.collective.registry,

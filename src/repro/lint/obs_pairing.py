@@ -1,0 +1,101 @@
+"""OBS01 — span enter/exit pairing for the flight-recorder hooks.
+
+The observability layer (:mod:`repro.obs`) builds spans from paired
+hook calls: ``collective_begin``/``collective_end``,
+``phase_begin``/``phase_end``, ``round_begin``/``round_end``.  A begin
+whose end is unreachable leaves the span open forever — the trace shows
+a collective that never finished, the per-call metrics stack never
+pops, and every later frame on that host is attributed to the wrong
+call.  This rule flags any ``*_begin`` hook call with no matching
+``*_end`` in sight.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import ancestors, attach_parents, enclosing, parent
+from .engine import SourceFile, Violation
+
+CODE = "OBS01"
+SUMMARY = "span *_begin call with no reachable matching *_end"
+
+EXPLAIN = """\
+Every attribute call named `<prefix>_begin` (the flight-recorder span
+hooks: collective_begin, phase_begin, round_begin, and any future span
+pair following the naming scheme) must have a reachable matching
+`<prefix>_end` call.  The rule accepts any of:
+
+* a `<prefix>_end` call anywhere in the same function — straight-line
+  code and the canonical try/finally bracket both qualify;
+* a `<prefix>_end` call in any method of the same class — the
+  paired-method idiom (an object that begins in one method and ends in
+  another);
+* the context-manager form: the begin call is the context expression
+  of a `with` statement, whose `__exit__` owns the end.
+
+What it flags is the dangerous shape: a span opened in a scope that can
+never close it.  Generators make this easy to get wrong — a `yield
+from` between begin and end is fine *only* under try/finally, which the
+same-scope check accepts and bare early returns do not provide.
+"""
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SUFFIX = "_begin"
+
+
+def _is_begin(node: ast.Call) -> bool:
+    fn = node.func
+    return (isinstance(fn, ast.Attribute)
+            and fn.attr.endswith(_SUFFIX)
+            and len(fn.attr) > len(_SUFFIX))
+
+
+def _scope_ends(scope: ast.AST, end_name: str) -> bool:
+    for node in ast.walk(scope):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == end_name):
+            return True
+    return False
+
+
+def _is_with_context(node: ast.Call) -> bool:
+    p = parent(node)
+    return isinstance(p, ast.withitem) and p.context_expr is node
+
+
+def _scopes(node: ast.AST, tree: ast.AST):
+    """Function scopes enclosing ``node``, innermost first; module-level
+    calls are checked against the whole module."""
+    found = False
+    for anc in ancestors(node):
+        if isinstance(anc, _FUNCS):
+            found = True
+            yield anc
+    if not found:
+        yield tree
+
+
+def check_file(src: SourceFile) -> list[Violation]:
+    if src.module is None or src.module.startswith("repro.lint"):
+        return []
+    attach_parents(src.tree)
+    out: list[Violation] = []
+    for node in ast.walk(src.tree):
+        if not (isinstance(node, ast.Call) and _is_begin(node)):
+            continue
+        end_name = node.func.attr[:-len(_SUFFIX)] + "_end"
+        if _is_with_context(node):
+            continue
+        if any(_scope_ends(s, end_name) for s in _scopes(node, src.tree)):
+            continue
+        cls = enclosing(node, ast.ClassDef)
+        if cls is not None and _scope_ends(cls, end_name):
+            continue
+        out.append(Violation(
+            CODE, str(src.path), node.lineno,
+            f"{node.func.attr}() opens a span but no {end_name}() is "
+            f"reachable from this scope — bracket it with try/finally "
+            f"or a context manager"))
+    return out

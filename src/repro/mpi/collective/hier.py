@@ -79,6 +79,7 @@ ranks dispatch identically.
 from __future__ import annotations
 
 import copy
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
@@ -572,6 +573,36 @@ def hier_ready(comm) -> Generator:
     return st
 
 
+def _phase_label(op: str, key: tuple) -> str:
+    """Compact stable span label for one phase: ``bcast@leaf2``,
+    ``gather@node0.1`` — derived from the plan key alone, so every rank
+    of a phase names it identically."""
+    kind, ident = key
+    if kind == "leaf":
+        return f"{op}@leaf{ident}"
+    return f"{op}@node" + ".".join(str(p) for p in ident)
+
+
+@contextmanager
+def _phase_span(comm, label: str):
+    """Bracket one hierarchical phase for the flight recorder.
+
+    Duck-typed through ``stats.recorder`` like every producer-side hook:
+    one attribute load and a branch when tracing is off.  The span is
+    attributed to the *parent* communicator's host, so it lands inside
+    the collective span the dispatcher opened on the same host.
+    """
+    rec = comm.host.stats.recorder
+    if rec is None:
+        yield
+        return
+    token = rec.phase_begin(comm.sim.now, comm.host.addr, label)
+    try:
+        yield
+    finally:
+        rec.phase_end(comm.sim.now, token)
+
+
 # ----------------------------------------------------------------------
 # the collectives
 # ----------------------------------------------------------------------
@@ -592,8 +623,9 @@ def bcast_hier(comm, obj: Any, root: int = 0) -> Generator:
     for phase in bcast_phases(st.tree, root):
         if comm.rank in phase.members:
             sub = st.comms[phase.key]
-            obj = yield from bcast_mcast_seg_nack(
-                sub, obj, sub.members.index(phase.root))
+            with _phase_span(comm, _phase_label("bcast", phase.key)):
+                obj = yield from bcast_mcast_seg_nack(
+                    sub, obj, sub.members.index(phase.root))
     return obj
 
 
@@ -621,8 +653,9 @@ def reduce_hier(comm, obj: Any, op, root: int = 0) -> Generator:
     for phase in phases:
         if comm.rank in phase.members:
             sub = st.comms[phase.key]
-            out = yield from reduce_mcast_seg_combine(
-                sub, value, op, sub.members.index(phase.root))
+            with _phase_span(comm, _phase_label("reduce", phase.key)):
+                out = yield from reduce_mcast_seg_combine(
+                    sub, value, op, sub.members.index(phase.root))
             if comm.rank == phase.root:
                 value = out
     result = value if comm.rank == holder else None
@@ -664,24 +697,27 @@ def barrier_hier(comm) -> Generator:
     stages.extend(sub for _node, sub in st.chain)
     seqs: list[int] = []
     posted: list = []
-    for sub in stages:                      # gather up, bottom-up
+    for i, sub in enumerate(stages):        # gather up, bottom-up
         channel = sub.mcast
         seq = channel.next_seq()
         seqs.append(seq)
         # post the release receive BEFORE scouting up (the paper's
         # readiness invariant, same as the flat barrier)
         posted.append(None if sub.rank == 0 else channel.post_data())
-        yield from scout_gather_binary(sub, channel, seq, 0)
+        with _phase_span(comm, f"barrier@up{i}"):
+            yield from scout_gather_binary(sub, channel, seq, 0)
     for i in reversed(range(len(stages))):  # release down, top-down
         sub, channel = stages[i], stages[i].mcast
-        if sub.rank == 0:
-            yield from channel.send_data(None, 0, seqs[i], control=True)
-        else:
-            src, got_seq, _ = yield from channel.wait_data(posted[i])
-            if got_seq != seqs[i] or src != 0:  # pragma: no cover
-                raise AssertionError(
-                    f"rank {comm.rank} got stale hierarchical barrier "
-                    f"release (seq {got_seq} != {seqs[i]})")
+        with _phase_span(comm, f"barrier@down{i}"):
+            if sub.rank == 0:
+                yield from channel.send_data(None, 0, seqs[i],
+                                             control=True)
+            else:
+                src, got_seq, _ = yield from channel.wait_data(posted[i])
+                if got_seq != seqs[i] or src != 0:  # pragma: no cover
+                    raise AssertionError(
+                        f"rank {comm.rank} got stale hierarchical "
+                        f"barrier release (seq {got_seq} != {seqs[i]})")
     return None
 
 
@@ -712,8 +748,10 @@ def scatter_hier(comm, objs, root: int = 0) -> Generator:
         sub = st.comms[plan.root_leaf.key]
         local = [objs[r] for r in plan.root_leaf.members] \
             if comm.rank == root else None
-        mine = yield from scatter_mcast_seg_root(
-            sub, local, sub.members.index(root))
+        with _phase_span(comm,
+                         _phase_label("scatter", plan.root_leaf.key)):
+            mine = yield from scatter_mcast_seg_root(
+                sub, local, sub.members.index(root))
         if comm.rank != root:
             result = mine
 
@@ -742,8 +780,9 @@ def scatter_hier(comm, objs, root: int = 0) -> Generator:
                 parts.append({r: carried[r] for r in child.members
                               if r in carried})
             local = parts
-        carried = yield from scatter_mcast_seg_root(
-            sub, local, sub.members.index(phase.root))
+        with _phase_span(comm, _phase_label("scatter", phase.key)):
+            carried = yield from scatter_mcast_seg_root(
+                sub, local, sub.members.index(phase.root))
 
     for phase in plan.leaves:
         if comm.rank in phase.members:
@@ -751,8 +790,9 @@ def scatter_hier(comm, objs, root: int = 0) -> Generator:
             local = None
             if comm.rank == phase.root:
                 local = [carried[r] for r in phase.members]
-            result = yield from scatter_mcast_seg_root(
-                sub, local, sub.members.index(phase.root))
+            with _phase_span(comm, _phase_label("scatter", phase.key)):
+                result = yield from scatter_mcast_seg_root(
+                    sub, local, sub.members.index(phase.root))
     if result is None and carried is not None:
         # a single-member leaf outside the root's: the element arrived
         # as this rank's one-entry bundle from its lowest leader group
@@ -778,8 +818,9 @@ def gather_hier(comm, obj: Any, root: int = 0) -> Generator:
     for phase in phases:
         if comm.rank in phase.members:
             sub = st.comms[phase.key]
-            out = yield from gather_mcast_seg_root_follow(
-                sub, carried, sub.members.index(phase.root))
+            with _phase_span(comm, _phase_label("gather", phase.key)):
+                out = yield from gather_mcast_seg_root_follow(
+                    sub, carried, sub.members.index(phase.root))
             if comm.rank == phase.root:
                 merged: dict = {}
                 for part in out:
@@ -814,7 +855,9 @@ def allgather_hier(comm, obj: Any) -> Generator:
     for phase in plan.up:
         if comm.rank in phase.members:
             sub = st.comms[phase.key]
-            outs = yield from allgather_mcast_seg_paced(sub, carried)
+            with _phase_span(
+                    comm, _phase_label("allgather-up", phase.key)):
+                outs = yield from allgather_mcast_seg_paced(sub, carried)
             merged: dict = {}
             for part in outs:
                 merged.update(part)
@@ -823,6 +866,8 @@ def allgather_hier(comm, obj: Any) -> Generator:
         if comm.rank in phase.members:
             sub = st.comms[phase.key]
             payload = carried if comm.rank == phase.root else None
-            carried = yield from bcast_mcast_seg_nack(
-                sub, payload, sub.members.index(phase.root))
+            with _phase_span(
+                    comm, _phase_label("allgather-down", phase.key)):
+                carried = yield from bcast_mcast_seg_nack(
+                    sub, payload, sub.members.index(phase.root))
     return [carried[r] for r in range(comm.size)]

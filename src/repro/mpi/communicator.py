@@ -71,6 +71,12 @@ class Communicator:
         #: chronological (op, resolved impl name) log — how the "auto"
         #: policy layer's per-call choices are observed by tests/benches
         self.impl_log: list[tuple[str, str]] = []
+        #: per-collective-call metric records (plain dicts, see
+        #: :mod:`repro.obs.metrics`) — populated only when a flight
+        #: recorder is attached (``REPRO_TRACE=1``), one entry per
+        #: dispatched collective, in completion order next to
+        #: :attr:`impl_log`
+        self.metrics_log: list[dict] = []
         world.register_comm(self)
 
     # ------------------------------------------------------------------
@@ -145,7 +151,18 @@ class Communicator:
         fn = get_impl(op, name)
         self.call_log.append((op, self.ctx, self._call_signature(op, args)))
         self.impl_log.append((op, name))
-        result = yield from fn(self, *args)
+        rec = self.host.stats.recorder
+        if rec is None:
+            result = yield from fn(self, *args)
+            return result
+        token = rec.collective_begin(self.sim.now, self.host.addr,
+                                     self.rank, op, name)
+        try:
+            result = yield from fn(self, *args)
+        finally:
+            record = rec.collective_end(self.sim.now, token)
+            if record is not None:
+                self.metrics_log.append(record)
         return result
 
     #: which positional args of each collective are rank-invariant and

@@ -1,0 +1,25 @@
+"""``repro.obs`` — the opt-in deterministic flight recorder.
+
+Span tracing (collective → hier phase → NACK round → frame hop),
+per-collective-call metrics, Perfetto/text exporters and hang
+diagnostics, all fed from the single-branch hook points defined by
+:class:`repro.simnet.trace.RecorderHooks` and threaded through every
+layer of the stack.  See ``docs/OBSERVABILITY.md``.
+
+Layering: this package sits beside the substrate — it may import
+``repro.simnet`` (for the hook vocabulary) and nothing higher; every
+producer layer reaches it only duck-typed through ``stats.recorder``.
+"""
+
+from .export import (format_event, perfetto_doc, perfetto_json,
+                     text_report, write_trace)
+from .hang import build_hang_dump
+from .metrics import CallRecord
+from .trace import (TRACE_ENV, FlightRecorder, drain_recorders,
+                    register_recorder, trace_enabled)
+
+__all__ = [
+    "CallRecord", "FlightRecorder", "TRACE_ENV", "build_hang_dump",
+    "drain_recorders", "format_event", "perfetto_doc", "perfetto_json",
+    "register_recorder", "text_report", "trace_enabled", "write_trace",
+]

@@ -30,10 +30,14 @@ from typing import Any, Callable, Optional
 
 from ..mpi.p2p import DEFAULT_EAGER_THRESHOLD
 from ..mpi.world import MpiWorld
+from ..obs import (FlightRecorder, build_hang_dump, register_recorder,
+                   trace_enabled)
 from ..simnet.calibration import NetParams
+from ..simnet.kernel import DeadlockError
 from ..simnet.topology import Cluster, build_cluster
 from .env import RankEnv
-from .sanitize import check_quiesced, register_for_teardown, sanitize_enabled
+from .sanitize import (LeakError, check_quiesced, register_for_teardown,
+                       sanitize_enabled)
 from .skew import NoSkew, SkewModel
 
 __all__ = ["RunResult", "run_spmd"]
@@ -102,6 +106,14 @@ def run_spmd(n: int,
     world = MpiWorld(cluster, eager_threshold=eager_threshold)
     skew = skew if skew is not None else NoSkew()
 
+    recorder = None
+    if trace_enabled():
+        # REPRO_TRACE=1: attach the flight recorder before any traffic
+        # and park it in the hand-off registry for whoever drove the
+        # run (the trace CLI, a test) to drain afterwards.
+        recorder = FlightRecorder().attach(cluster)
+        register_recorder(recorder)
+
     returns: list[Any] = [None] * n
     records: list[dict[str, Any]] = [{} for _ in range(n)]
     init_times: list[float] = [0.0] * n
@@ -125,14 +137,31 @@ def run_spmd(n: int,
     for rank in range(n):
         cluster.sim.process(rank_program(rank), name=f"rank{rank}")
 
-    end = cluster.sim.run(until=max_sim_us)
+    try:
+        end = cluster.sim.run(until=max_sim_us)
+    except DeadlockError:
+        if recorder is not None:
+            recorder.hang_report = build_hang_dump(cluster, "deadlock")
+        raise
+    if recorder is not None and max_sim_us is not None and any(
+            not daemon for _n, daemon, _w in
+            cluster.sim.process_snapshot()):
+        # the deadline cut the run off with rank work still live: dump
+        # what everything was doing at the cut (who waits on what,
+        # which descriptors are posted, which rounds are still open)
+        recorder.hang_report = build_hang_dump(cluster, "deadline")
     if max_sim_us is None and sanitize_enabled():
         # REPRO_SANITIZE=1: a completed (unbounded) run must quiesce
         # cleanly now; the destructive teardown check runs later, from
         # the test fixture that drains this registry (repro.runtime
         # .sanitize).  Bounded runs are exempt — they cut the sim off
         # mid-flight on purpose.
-        check_quiesced(cluster)
+        try:
+            check_quiesced(cluster)
+        except LeakError:
+            if recorder is not None:
+                recorder.hang_report = build_hang_dump(cluster, "quiesce")
+            raise
         register_for_teardown(cluster, world)
     return RunResult(returns=returns, records=records, sim_time_us=end,
                      stats=cluster.stats.snapshot(), cluster=cluster,

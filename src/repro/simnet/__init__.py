@@ -21,7 +21,7 @@ from .resource import Resource
 from .stats import NetStats
 from .switchdev import Switch
 from .topology import TOPOLOGIES, Cluster, build_cluster
-from .trace import TraceEvent, Tracer
+from .trace import RecorderHooks, TraceEvent, Tracer
 from .udp import SocketClosed, UdpSocket
 
 __all__ = [
@@ -29,7 +29,8 @@ __all__ = [
     "Event", "ExcessiveCollisions", "FAST_ETHERNET_HUB",
     "FAST_ETHERNET_SWITCH", "Fabric", "FabricSpec", "Frame", "FullLink",
     "GroupAllocator", "HalfLink", "Host", "Interrupt", "NetParams",
-    "NetStats", "Nic", "Process", "Resource", "SharedMedium", "SimError",
+    "NetStats", "Nic", "Process", "RecorderHooks", "Resource",
+    "SharedMedium", "SimError",
     "Simulator", "SocketClosed", "Switch", "TOPOLOGIES", "Timeout",
     "TraceEvent", "Tracer", "UdpSocket", "VIA_SWITCH", "build_cluster",
     "fragment_sizes", "is_group_addr", "is_multicast", "mcast_mac",

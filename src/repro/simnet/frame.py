@@ -138,10 +138,14 @@ class FramePool:
     datagram for GC) and returns the frame to the list.
     """
 
-    __slots__ = ("_free",)
+    __slots__ = ("_free", "allocated", "reused")
 
     def __init__(self) -> None:
         self._free: list[Frame] = []
+        #: frames constructed because the free list was empty
+        self.allocated = 0
+        #: acquisitions served by recycling a dead frame
+        self.reused = 0
 
     def acquire(self, src: int, dst: int, size: int, payload: Any,
                 kind: str) -> Frame:
@@ -155,9 +159,11 @@ class FramePool:
             frame.kind = kind
             frame.frame_id = _next_frame_id()
             frame._refs = 1
+            self.reused += 1
             return frame
         frame = Frame(src, dst, size, payload, kind)
         frame._pool = self
+        self.allocated += 1
         return frame
 
 

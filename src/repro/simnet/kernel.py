@@ -467,6 +467,28 @@ class Simulator:
             return self._nowq[0][0]
         return self._heap[0][0] if self._heap else float("inf")
 
+    def process_snapshot(self) -> list:
+        """Deterministic view of the live processes (hang diagnostics).
+
+        Sorted by process name; each entry is ``(name, daemon, waiting)``
+        where ``waiting`` names what the process is parked on (the class
+        of its wait target, plus whether that target already triggered)
+        or ``"runnable"`` when it is not waiting on any event.  Never on
+        the dispatch path — only readers like the flight recorder's hang
+        dump call it.
+        """
+        out = []
+        for proc in sorted(self._live_processes, key=lambda p: p.name):
+            target = proc._waiting_on
+            if target is None:
+                waiting = "runnable"
+            else:
+                waiting = type(target).__name__
+                if target._triggered:
+                    waiting += "(triggered)"
+            out.append((proc.name, proc.daemon, waiting))
+        return out
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queues drain or the clock passes ``until``.
 

@@ -68,6 +68,13 @@ class HalfLink:
             self.stats.frames_forwarded += 1
         if self.is_trunk:
             self.stats.record_trunk(frame.kind)
+        rec = self.stats.recorder
+        if rec is not None:
+            if self.count_as_send:
+                rec.frame_sent(self.sim.now, frame, self.name)
+            else:
+                rec.frame_forwarded(self.sim.now, frame, self.name,
+                                    self.is_trunk)
         self.sim.schedule_call(wire_us + self.params.prop_delay_us,
                                self._arrive, frame)
         self.sim.schedule_call(wire_us, self._sent, done)

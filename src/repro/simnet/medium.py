@@ -126,6 +126,9 @@ class SharedMedium:
         # wire timelines are consistent across topologies.  A started
         # transmission cannot abort in this model.
         self.stats.record_send(frame.wire_size, frame.kind)
+        rec = self.stats.recorder
+        if rec is not None:
+            rec.frame_sent(self.sim.now, frame, "hub")
         self.sim.schedule_call(wire_us, self._complete, tx)
 
     def _complete(self, tx: _Tx) -> None:

@@ -148,6 +148,9 @@ class Nic:
             return False
         self.rx_frames += 1
         self.stats.frames_delivered += 1
+        rec = self.stats.recorder
+        if rec is not None:
+            rec.frame_delivered(self.sim.now, frame, self.mac)
         if self._receiver is not None:
             self.sim.schedule_call(self.params.per_frame_rx_us,
                                    self._rx_dispatch, frame)

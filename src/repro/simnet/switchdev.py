@@ -99,6 +99,9 @@ class Switch:
             return
         egress = self._egress_ports(port_idx, frame)
         self.frames_switched += 1
+        rec = self.stats.recorder
+        if rec is not None:
+            rec.frame_switched(self.sim.now, frame, self.name, len(egress))
         if not egress:
             release_frame(frame)
             return

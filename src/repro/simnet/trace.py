@@ -1,18 +1,119 @@
-"""Lightweight wire-event tracing (opt-in, for debugging and analysis).
+"""Flight-recorder hook points + lightweight wire-event tracing.
 
-A :class:`Tracer` can be wrapped around a cluster's statistics hooks to
-record a timeline of frame transmissions; tests use it to assert ordering
-properties (e.g. that scouts precede the multicast payload on the wire).
+:class:`RecorderHooks` is the protocol every layer of the stack reports
+into: devices (medium, links, switches, NICs) call the ``frame_*``
+hooks with real frame context, the multicast round engine
+(``repro.core.rounds``) calls the round-lifecycle hooks, and the MPI
+dispatch layer calls the collective/phase span hooks.  Every hook site
+is guarded by a single branch on ``stats.recorder`` (``None`` by
+default), so tracing off costs one attribute load per event and
+schedules nothing — the recorder is *pulled* data synchronously, never
+woken by the event loop.
+
+The base class implements every hook as a no-op, which is what lets a
+recorder live below every layer: ``repro.simnet`` defines the
+vocabulary, ``repro.obs`` subclasses it with the full flight recorder,
+and nothing in ``simnet``/``core``/``mpi`` ever imports upward.
+
+Hook implementations must copy what they need out of a ``frame``
+argument *synchronously*: frames are pool-recycled the moment the last
+delivery path releases them, so holding a reference records garbage.
+
+:class:`Tracer` is the original, minimal consumer: a flat list of
+:class:`TraceEvent` used by tests and ``bench/timeline.py`` to assert
+wire orderings.  It used to monkey-patch ``NetStats.record_send`` and
+could therefore only record ``src=-1, dst=-1`` placeholders; it is now
+a :class:`RecorderHooks` subclass fed from the same frame-context hook
+points as the full flight recorder, so events carry real addressing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
-from .stats import NetStats
+__all__ = ["RecorderHooks", "TraceEvent", "Tracer"]
 
-__all__ = ["TraceEvent", "Tracer"]
+
+class RecorderHooks:
+    """No-op base implementation of every flight-recorder hook point.
+
+    ``now`` is always the simulator clock at the hook site (passed
+    explicitly so recorders need no back-reference to the simulator);
+    ``addr`` is always the *host* address the event happened on — the
+    same integer frames carry as ``src``, which is what lets a recorder
+    attribute wire traffic to the collective call that caused it.
+    """
+
+    # ------------------------------------------------ frame path (devices)
+    def frame_sent(self, now: float, frame, via: str) -> None:
+        """A host-originated transmission started (``record_send`` site)."""
+
+    def frame_forwarded(self, now: float, frame, via: str,
+                        trunk: bool) -> None:
+        """A switch-egress re-serialization started (``trunk`` on
+        switch-to-switch links)."""
+
+    def frame_delivered(self, now: float, frame, mac: int) -> None:
+        """A NIC filter accepted a frame copy for host ``mac``."""
+
+    def frame_switched(self, now: float, frame, via: str,
+                       negress: int) -> None:
+        """A switch accepted a frame and fanned it to ``negress`` ports."""
+
+    # ------------------------------------------- round engine (repro.core)
+    def round_begin(self, now: float, addr: int, role: str, seq: int,
+                    rnd: int, nsegs: int):
+        """A NACK-repair round started (``role`` is serve/follow)."""
+        return None
+
+    def round_end(self, now: float, token, posted_hw: int = 0) -> None:
+        """The round that returned ``token`` finished."""
+
+    def pacing_stall(self, now: float, addr: int, gap_us: float) -> None:
+        """The sender slept ``gap_us`` before the next paced datagram."""
+
+    def nack_report(self, now: float, addr: int, src: int, rnd: int,
+                    missing: tuple, budget: int) -> None:
+        """The server received one receiver's segment report."""
+
+    def nack_sent(self, now: float, addr: int, rnd: int,
+                  missing: tuple) -> None:
+        """A receiver reported ``missing`` segments up to the root."""
+
+    def repair_decision(self, now: float, addr: int, rnd: int,
+                        plan) -> None:
+        """The server decided the next repair round (or completion)."""
+
+    def drain_timeout(self, now: float, addr: int, rnd: int,
+                      cancelled: int) -> None:
+        """A receiver's drain timer expired with descriptors pending."""
+
+    def round_open(self, now: float, addr: int, label: str,
+                   missing_fn) -> None:
+        """A reassembly is in flight; ``missing_fn()`` names the segment
+        indices still outstanding (live — for hang diagnostics)."""
+
+    def round_close(self, now: float, addr: int, label: str) -> None:
+        """The reassembly opened under ``label`` completed or aborted."""
+
+    # -------------------------------------------- collectives (repro.mpi)
+    def collective_begin(self, now: float, addr: int, rank: int, op: str,
+                         impl: str):
+        """A collective call entered dispatch on ``rank``."""
+        return None
+
+    def collective_end(self, now: float, token):
+        """The collective that returned ``token`` finished; returns the
+        finalized per-call metrics record (or ``None``)."""
+        return None
+
+    def phase_begin(self, now: float, addr: int, label: str):
+        """A hierarchical sub-phase started on this rank."""
+        return None
+
+    def phase_end(self, now: float, token) -> None:
+        """The phase that returned ``token`` finished."""
 
 
 @dataclass(frozen=True)
@@ -24,36 +125,32 @@ class TraceEvent:
     size: int
 
 
-class Tracer:
+class Tracer(RecorderHooks):
     """Records every frame send passing through a NetStats instance."""
 
-    def __init__(self, sim, stats: NetStats):
+    def __init__(self, sim, stats):
         self.sim = sim
         self.events: list[TraceEvent] = []
-        self._orig_record: Optional[Callable] = None
         self._stats = stats
+        self._installed = False
 
     def install(self) -> "Tracer":
-        """Monkey-patch stats.record_send to also log a TraceEvent.
-
-        The patch captures only (time, kind, size) — src/dst need frame
-        context, so devices that want full tracing call :meth:`note`.
-        """
-        orig = self._stats.record_send
-        self._orig_record = orig
-
-        def wrapped(wire_size: int, kind: str) -> None:
-            self.events.append(TraceEvent(self.sim.now, kind, -1, -1,
-                                          wire_size))
-            orig(wire_size, kind)
-
-        self._stats.record_send = wrapped  # type: ignore[method-assign]
+        """Attach as ``stats.recorder`` so every ``frame_sent`` hook
+        (the same sites ``record_send`` counts) logs a TraceEvent with
+        real addressing.  Replaces the deprecated ``record_send``
+        monkey-patch, which could not see the frame."""
+        self._stats.recorder = self
+        self._installed = True
         return self
 
     def uninstall(self) -> None:
-        if self._orig_record is not None:
-            self._stats.record_send = self._orig_record  # type: ignore
-            self._orig_record = None
+        if self._installed and self._stats.recorder is self:
+            self._stats.recorder = None
+        self._installed = False
+
+    def frame_sent(self, now: float, frame, via: str) -> None:
+        self.events.append(TraceEvent(now, frame.kind, frame.src,
+                                      frame.dst, frame.wire_size))
 
     def note(self, kind: str, src: int, dst: int, size: int) -> None:
         """Explicitly record an event with full addressing."""

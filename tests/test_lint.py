@@ -85,6 +85,60 @@ def test_leak01_clean_with_paired_method_in_class(tmp_path):
     assert "LEAK01" not in codes(v)
 
 
+# --------------------------------------------------------------- OBS01
+def test_obs01_triggers_on_unpaired_span_begin(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def dispatch(rec, now, addr):
+            token = rec.collective_begin(now, addr, 0, "bcast", "mcast")
+            return run(token)
+    """})
+    assert "OBS01" in codes(v)
+
+
+def test_obs01_clean_with_try_finally_end(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def dispatch(rec, now, addr):
+            token = rec.phase_begin(now, addr, "up0")
+            try:
+                return run(token)
+            finally:
+                rec.phase_end(now, token)
+    """})
+    assert "OBS01" not in codes(v)
+
+
+def test_obs01_clean_with_context_manager_form(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def dispatch(rec, now, addr):
+            with rec.span_begin(now, addr):
+                return run()
+    """})
+    assert "OBS01" not in codes(v)
+
+
+def test_obs01_clean_with_paired_method_in_class(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        class Meter:
+            def start(self, rec, now):
+                self.tok = rec.round_begin(now, 1, "serve", 0, 0, 4)
+            def stop(self, rec, now):
+                rec.round_end(now, self.tok)
+    """})
+    assert "OBS01" not in codes(v)
+
+
+def test_obs01_mismatched_end_name_still_triggers(tmp_path):
+    v = lint_tree(tmp_path, {"repro/core/x.py": """\
+        def dispatch(rec, now, addr):
+            token = rec.phase_begin(now, addr, "up0")
+            try:
+                return run(token)
+            finally:
+                rec.round_end(now, token)
+    """})
+    assert "OBS01" in codes(v)
+
+
 # --------------------------------------------------------------- DET01
 def test_det01_triggers_on_wall_clock_and_set_iteration(tmp_path):
     v = lint_tree(tmp_path, {"repro/simnet/x.py": """\

@@ -3,7 +3,7 @@
 
 from repro.bench.timeline import (WireEvent, ascii_timeline,
                                   kinds_in_order, record_timeline)
-from repro.simnet import Simulator, NetStats, Tracer
+from repro.simnet import Frame, Simulator, NetStats, Tracer
 from repro.simnet import quiet
 from repro.simnet.calibration import FAST_ETHERNET_HUB
 
@@ -63,17 +63,35 @@ def test_ascii_timeline_empty():
 
 
 def test_tracer_install_uninstall():
+    """The tracer rides the recorder hook slot (no monkey-patching):
+    install sets ``stats.recorder``, events carry real frame context,
+    uninstall clears the slot while stats keep counting."""
     sim = Simulator()
     stats = NetStats()
     tracer = Tracer(sim, stats).install()
-    stats.record_send(100, "data")
-    sim.schedule_call(5.0, stats.record_send, 200, "scout")
+    assert stats.recorder is tracer
+
+    def fire(frame):
+        # what every device-level send site does: count, then hand the
+        # frame to the recorder behind the single-branch guard
+        stats.record_send(frame.wire_size, frame.kind)
+        rec = stats.recorder
+        if rec is not None:
+            rec.frame_sent(sim.now, frame, "test")
+
+    data = Frame(src=1, dst=2, size=100, payload=None, kind="data")
+    scout = Frame(src=3, dst=0, size=20, payload=None, kind="scout")
+    fire(data)
+    sim.schedule_call(5.0, fire, scout)
     sim.run()
     assert len(tracer.events) == 2
     assert tracer.first_time("scout") == 5.0
-    assert tracer.of_kind("data")[0].size == 100
+    assert tracer.of_kind("data")[0].size == data.wire_size
+    assert tracer.of_kind("data")[0].src == 1
+    assert tracer.of_kind("scout")[0].dst == 0
     tracer.uninstall()
-    stats.record_send(300, "data")
+    assert stats.recorder is None
+    fire(data)
     assert len(tracer.events) == 2            # no longer recording
     assert stats.frames_sent == 3             # but stats still count
 
