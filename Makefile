@@ -24,7 +24,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test smoke lint lint-deep bench-segmented bench-gate \
+.PHONY: test smoke lint lint-deep fuzz bench-segmented bench-gate \
 	bench-baselines bench-full docs docs-check
 
 test:
@@ -50,6 +50,14 @@ lint:
 lint-deep:
 	$(PY) -m repro.lint src tests benchmarks examples
 	REPRO_SANITIZE=1 $(PY) -m pytest -x -q
+
+# The chaos gate: 200 seeded property-fuzz cases over every registered
+# fault scenario (docs/CHAOS.md).  Fixed seed, so the run is a
+# regression test, not a lottery; any failure prints a one-line replay
+# command and writes its flight-recorder dump under chaos-artifacts/.
+fuzz:
+	REPRO_SANITIZE=1 $(PY) -m repro.chaos.fuzz --budget 200 --seed 1 \
+		--workers 2 --artifacts chaos-artifacts
 
 bench-segmented:
 	$(PY) -m pytest -q benchmarks/bench_segmented_bcast.py

@@ -1,0 +1,26 @@
+"""Chaos engineering for the simulated MPI stack.
+
+The paper's protocols claim liveness and correctness under an
+unreliable fabric; this package turns that claim into an executable
+contract.  :mod:`repro.chaos.scenarios` is a registry of adversarial
+fault scenarios — burst loss, reordering, duplication, trunk
+partitions, switch death, host crashes, membership churn, pathological
+startup skew — each injected through the first-class seams the
+simulator exposes (``Host.frame_fate``, ``HalfLink.fault``,
+``Fabric.partition_trunk``, ``Switch.power_off``,
+``Cluster.crash_host``), never by monkey-patching.
+
+:mod:`repro.chaos.fuzz` drives them from a seeded property fuzzer
+(``python -m repro.chaos.fuzz --budget N --seed S``) asserting the
+universal postcondition: every collective either completes with
+byte-correct results (checked against a pure-python oracle) or fails
+crisply with a typed error (:class:`~repro.core.rounds.McastLost`,
+:class:`~repro.simnet.kernel.DeadlockError`,
+:class:`~repro.simnet.fabric.PartitionError`) — no hangs, no leaked
+descriptors or memberships — and every failure replays bit-identically
+from its printed ``(seed, case-key)``.
+"""
+
+from .scenarios import SCENARIOS, ScenarioSpec, get, names, timed_fault
+
+__all__ = ["SCENARIOS", "ScenarioSpec", "get", "names", "timed_fault"]

@@ -42,21 +42,11 @@ from typing import Any, Generator
 
 from ..mpi.collective.registry import register
 from ..mpi.datatypes import payload_bytes
+from .rounds import McastLost
 from .scout import scout_gather_binary, scout_gather_linear
 
 __all__ = ["bcast_mcast_binary", "bcast_mcast_linear", "bcast_mcast_naive",
            "bcast_mcast_ack", "McastLost"]
-
-
-class McastLost(RuntimeError):
-    """A multicast payload never arrived (naive mode, slow receiver)."""
-
-    def __init__(self, rank: int, seq: int):
-        self.rank = rank
-        self.seq = seq
-        super().__init__(
-            f"rank {rank} lost multicast broadcast seq={seq} "
-            f"(receive posted too late and no synchronization was used)")
 
 
 def _bcast_scouted(comm, obj: Any, root: int, gather) -> Generator:
@@ -155,9 +145,10 @@ def bcast_mcast_ack(comm, obj: Any, root: int = 0) -> Generator:
             if missing:
                 attempts += 1
                 if attempts > params.max_retransmits:
-                    raise RuntimeError(
+                    raise McastLost(comm.rank, seq, reason=(
                         f"bcast_mcast_ack: gave up after {attempts - 1} "
-                        f"retransmits; unreachable ranks {sorted(missing)}")
+                        f"retransmits; unreachable ranks "
+                        f"{sorted(missing)}"))
                 yield from channel.send_data(obj, nbytes, seq,
                                              retransmit=True)
         return obj

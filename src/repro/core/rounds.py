@@ -62,11 +62,43 @@ from dataclasses import dataclass
 from .channel import MCAST_HEADER_BYTES, SEG_HEADER_BYTES
 from .scout import scout_gather_binary
 
-__all__ = ["Segment", "Reassembler", "RoundPacer", "auto_gap_us",
-           "chunk_plan", "frame_segment_bytes", "reassemble",
-           "repair_batch", "resolved_segment_bytes",
-           "round_drain_timeout_us", "round_namespace", "serve_rounds",
-           "follow_rounds"]
+__all__ = ["McastLost", "Segment", "Reassembler", "RoundPacer",
+           "auto_gap_us", "chunk_plan", "frame_segment_bytes",
+           "reassemble", "repair_batch", "repair_round_limit",
+           "resolved_segment_bytes", "round_drain_timeout_us",
+           "round_namespace", "serve_rounds", "follow_rounds"]
+
+
+class McastLost(RuntimeError):
+    """A multicast transfer was lost for good.
+
+    Raised by the naive (unsynchronized) broadcast when the payload
+    never arrives, and by the round engine when the repair-round budget
+    (:func:`repair_round_limit`) is exhausted with segments still
+    missing — the crisp, typed end of the "complete or fail" contract
+    the chaos fuzzer (:mod:`repro.chaos`) asserts.  A subclass of
+    ``RuntimeError`` for backward compatibility with callers that catch
+    the engine's historical bare error.
+    """
+
+    def __init__(self, rank: int, seq, reason: Optional[str] = None):
+        self.rank = rank
+        self.seq = seq
+        super().__init__(
+            reason if reason is not None else
+            f"rank {rank} lost multicast broadcast seq={seq} "
+            f"(receive posted too late and no synchronization was used)")
+
+
+def repair_round_limit(params) -> int:
+    """Repair rounds the engine runs before aborting a transfer:
+    ``NetParams.max_repair_rounds`` when set, else the historical
+    ``max_retransmits`` bound.  A receiver that can never be satisfied
+    (partitioned segment, dead host, a drop hook eating every data
+    frame) turns the drain-timeout loop into a livelock; this bound
+    converts it into a typed :class:`McastLost` instead."""
+    limit = params.max_repair_rounds
+    return params.max_retransmits if limit is None else limit
 
 
 @dataclass(frozen=True)
@@ -467,7 +499,7 @@ def serve_rounds(comm, channel, seq, root: int, segments, batch: int,
                                 tuple(missing), budget)
         if not union:
             decision = None
-        elif rnd >= params.max_retransmits:
+        elif rnd >= repair_round_limit(params):
             decision = "abort"      # tell receivers before raising,
         else:                       # so nobody arms a dead round
             decision = tuple(sorted(union))
@@ -481,9 +513,9 @@ def serve_rounds(comm, channel, seq, root: int, segments, batch: int,
         if decision is None:
             return
         if decision == "abort":
-            raise RuntimeError(
+            raise McastLost(comm.rank, seq, reason=(
                 f"rank {comm.rank}: gave up after {rnd} repair rounds "
-                f"for seq={seq}; still missing segments {sorted(union)}")
+                f"for seq={seq}; still missing segments {sorted(union)}"))
         rnd += 1
         plan = list(decision)
 
@@ -555,10 +587,10 @@ def follow_rounds(comm, channel, seq, root: int, nsegs: int, batch: int,
             if plan_t is None:
                 return reasm
             if plan_t == "abort":
-                raise RuntimeError(
+                raise McastLost(comm.rank, seq, reason=(
                     f"rank {comm.rank}: root gave up repairing segmented "
                     f"transfer seq={seq}; still missing "
-                    f"{sorted(reasm.missing())}")
+                    f"{sorted(reasm.missing())}"))
             plan = list(plan_t)
             rnd += 1
     finally:

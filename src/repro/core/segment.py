@@ -118,9 +118,9 @@ from ..mpi.collective.registry import register
 from ..mpi.datatypes import payload_bytes
 from .channel import SEG_HEADER_BYTES
 from .mcast_allgather import _ready_round
-from .rounds import (Reassembler, Segment, chunk_plan, follow_rounds,
-                     frame_segment_bytes, reassemble, round_namespace,
-                     serve_rounds)
+from .rounds import (McastLost, Reassembler, Segment, chunk_plan,
+                     follow_rounds, frame_segment_bytes, reassemble,
+                     round_namespace, serve_rounds)
 from .scout import scout_gather_binary
 
 __all__ = ["Segment", "Reassembler", "TransportPlan", "auto_batch",
@@ -352,13 +352,24 @@ def allgather_mcast_seg_paced(comm, obj: Any) -> Generator:
         hdr_posted = channel.post_data()
         yield from scout_gather_binary(comm, channel, seq, turn,
                                        phase=("ag-hdr", turn))
-        src, got_seq, hdr = yield from channel.wait_data(hdr_posted)
-        if (got_seq != seq or src != turn or not isinstance(hdr, tuple)
-                or hdr[0] != "seg-hdr" or hdr[1] != turn):
-            raise AssertionError(
-                f"rank {comm.rank}: seg-paced allgather pacing violated "
-                f"(expected turn {turn} header, got src={src}, "
-                f"payload={hdr!r}, seq={got_seq}/{seq})")
+        # A straggler from an earlier turn — a data segment the fabric
+        # delayed or duplicated in flight — can land in the header
+        # descriptor.  Discard and repost (the stale backlog is bounded
+        # by the frames already sent this call); if the budget runs
+        # out, fail crisply instead of wedging on a dead sender.
+        discards = 2 * size * (tplan.nsegs + 2)
+        for _ in range(discards):
+            src, got_seq, hdr = yield from channel.wait_data(hdr_posted)
+            if (got_seq == seq and src == turn and isinstance(hdr, tuple)
+                    and hdr[0] == "seg-hdr" and hdr[1] == turn):
+                break
+            hdr_posted = channel.post_data()
+        else:
+            raise McastLost(
+                comm.rank, seq,
+                reason=f"rank {comm.rank}: seg-paced allgather never saw "
+                       f"the turn {turn} header after discarding "
+                       f"{discards} stale frame(s) for seq={seq}")
         reasm = yield from follow_rounds(comm, channel, seq, turn,
                                         hdr[2], hdr[3], arm_phase,
                                         rnd_token)

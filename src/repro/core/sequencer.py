@@ -25,6 +25,7 @@ from typing import Any, Generator
 from ..mpi.collective.registry import register
 from ..mpi.collective.tags import TAG_BCAST
 from ..mpi.datatypes import payload_bytes
+from .rounds import McastLost
 
 __all__ = ["bcast_mcast_sequencer", "SEQUENCER_RANK"]
 
@@ -61,9 +62,9 @@ def bcast_mcast_sequencer(comm, obj: Any, root: int = 0) -> Generator:
             if missing:
                 attempts += 1
                 if attempts > params.max_retransmits:
-                    raise RuntimeError(
+                    raise McastLost(comm.rank, seq, reason=(
                         f"sequencer gave up after {attempts - 1} "
-                        f"retransmits; unreachable {sorted(missing)}")
+                        f"retransmits; unreachable {sorted(missing)}"))
                 yield from channel.send_data(obj, nbytes, seq,
                                              retransmit=True)
         return obj

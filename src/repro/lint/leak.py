@@ -18,22 +18,27 @@ from .engine import SourceFile, Violation
 CODE = "LEAK01"
 SUMMARY = "acquired transport resource with no reachable release"
 
-#: method names that acquire a resource needing an eventual release
+#: method names that acquire a resource needing an eventual release —
+#: including the chaos fault injectors, whose "resource" is a broken
+#: fabric: a partitioned trunk or crashed host left unhealed blocks the
+#: IGMP leaves every teardown depends on
 ACQUIRE = {"post_recv", "post_recv_many", "post_data", "post_data_many",
-           "join", "join_group", "alloc_hier_slab"}
+           "join", "join_group", "alloc_hier_slab",
+           "partition_trunk", "power_off", "crash_host"}
 
 #: method names that release (any of them anywhere in the same function
 #: or a sibling method of the same class counts as the pairing)
 RELEASE = {"cancel_recv", "cancel_recv_all", "cancel_data", "leave",
            "leave_group", "free", "free_hier_slab", "close", "shutdown",
-           "unbind"}
+           "unbind", "heal_trunk", "power_on", "restore_host"}
 
 EXPLAIN = """\
 Calls to the transport acquire APIs (post_recv, post_recv_many,
-post_data, post_data_many, join, join_group, alloc_hier_slab) must have
-a reachable release (cancel_recv/cancel_recv_all/cancel_data, leave/
-leave_group, free/free_hier_slab, close/shutdown) on the same object.
-The rule accepts any of:
+post_data, post_data_many, join, join_group, alloc_hier_slab) and the
+chaos fault injectors (partition_trunk, power_off, crash_host) must
+have a reachable release (cancel_recv/cancel_recv_all/cancel_data,
+leave/leave_group, free/free_hier_slab, close/shutdown, heal_trunk/
+power_on/restore_host) on the same object.  The rule accepts any of:
 
 * a release-name call anywhere in the same function (try/finally and
   straight-line cleanup both qualify);

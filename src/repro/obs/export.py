@@ -76,8 +76,14 @@ def perfetto_json(recorders: Iterable) -> str:
                       sort_keys=True) + "\n"
 
 
-def format_event(ev) -> str:
-    """One event as a stable single line (text report + hang dump)."""
+def format_event(ev, fid_map: dict = None) -> str:
+    """One event as a stable single line (text report + hang dump).
+
+    ``fid_map`` rebases the process-global ``frame`` ids to first-seen
+    order, exactly like the Perfetto export — pass one (shared across
+    the lines of a dump) to make the text byte-deterministic across
+    reruns in one process.
+    """
     if ev[0] == "span":
         _tag, rank, cat, name, t0, t1, args = ev
         head = f"{t0:12.1f}us +{t1 - t0:9.1f}us"
@@ -85,6 +91,8 @@ def format_event(ev) -> str:
         _tag, rank, cat, name, ts, args = ev
         head = f"{ts:12.1f}us {'':>11}"
     who = f"rank{rank}" if rank >= 0 else "net"
+    if fid_map is not None:
+        args = tuple(_norm_args(args, fid_map).items())
     argstr = " ".join(f"{k}={v}" for k, v in args)
     return f"{head}  {who:>7} {cat:<10} {name:<24} {argstr}".rstrip()
 

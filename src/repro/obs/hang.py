@@ -59,6 +59,11 @@ def build_hang_dump(cluster, reason: str, tail: int = TAIL_EVENTS) -> str:
     if events:
         shown = min(tail, len(events))
         lines.append(f"-- last {shown} of {len(events)} events --")
+        # One fid map across the tail: frame ids come from a counter
+        # that keeps counting across simulations, so rebasing them to
+        # first-seen order makes the dump byte-identical across reruns
+        # of the same seeded case — the chaos fuzzer's replay contract.
+        fid_map: dict = {}
         for ev in events[-shown:]:
-            lines.append("  " + format_event(ev))
+            lines.append("  " + format_event(ev, fid_map))
     return "\n".join(lines) + "\n"

@@ -216,6 +216,17 @@ class FlightRecorder(RecorderHooks):
             "inst", self._rank(addr), "round", "drain-timeout", now,
             (("round", rnd), ("cancelled", cancelled))))
 
+    # ------------------------------------------------------- chaos hooks
+    def chaos_fault_begin(self, now, name):
+        self.events.append((
+            "inst", -1, "chaos", f"fault:{name}", now, ()))
+        return (name, now)
+
+    def chaos_fault_end(self, now, token):
+        name, t0 = token
+        self.events.append((
+            "span", -1, "chaos", f"fault:{name}", t0, now, ()))
+
     def round_open(self, now, addr, label, missing_fn):
         self._open_rounds[(addr, label)] = (self._rank(addr), missing_fn)
 

@@ -33,6 +33,7 @@ from ..mpi.world import MpiWorld
 from ..obs import (FlightRecorder, build_hang_dump, register_recorder,
                    trace_enabled)
 from ..simnet.calibration import NetParams
+from ..simnet.fabric import PartitionError
 from ..simnet.kernel import DeadlockError
 from ..simnet.topology import Cluster, build_cluster
 from .env import RankEnv
@@ -85,7 +86,10 @@ def run_spmd(n: int,
              collectives: Optional[dict[str, str]] = None,
              eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
              max_sim_us: Optional[float] = None,
-             trunk_params: Optional[NetParams] = None) -> RunResult:
+             trunk_params: Optional[NetParams] = None,
+             on_cluster: Optional[Callable[[Cluster], None]] = None,
+             strict_deadlock: bool = False
+             ) -> RunResult:
     """Run ``main`` as an ``n``-rank SPMD program on a fresh cluster.
 
     ``topology`` is ``"hub"``, ``"switch"``, or a tiered-fabric string
@@ -98,6 +102,26 @@ def run_spmd(n: int,
 
     ``skew`` delays each rank's start (startup asynchrony); ``max_sim_us``
     bounds runaway simulations (e.g. intentional deadlocks in tests).
+
+    ``on_cluster`` is the chaos-injection seam: called with the built
+    cluster after the MPI world exists but before any rank process is
+    started, so a caller can attach a flight recorder and install fault
+    hooks / schedule fault timelines (:mod:`repro.chaos`) without
+    monkey-patching.  On any failure escaping the simulation the raised
+    exception carries ``repro_cluster`` / ``repro_world`` attributes so
+    the caller can still reach the wreckage (hang dumps, teardown
+    checks); a deadlock while the cluster reports active partition
+    faults is re-raised as the typed
+    :class:`~repro.simnet.fabric.PartitionError`.
+
+    A *bounded* run (``max_sim_us`` set) that drains its event queues
+    before the deadline with ranks still blocked returns quietly by
+    default — the long-standing contract tests rely on to inspect
+    intentionally wedged runs.  ``strict_deadlock=True`` restores
+    deadlock semantics for that situation (the chaos fuzzer's crisp
+    failure contract): it raises :class:`DeadlockError` — translated
+    to :class:`PartitionError` when injected fabric faults are active
+    — exactly as an unbounded run would.
     """
     if n < 1:
         raise ValueError(f"need at least 1 rank, got {n}")
@@ -113,6 +137,12 @@ def run_spmd(n: int,
         # run (the trace CLI, a test) to drain afterwards.
         recorder = FlightRecorder().attach(cluster)
         register_recorder(recorder)
+    if on_cluster is not None:
+        on_cluster(cluster)
+    if recorder is None:
+        # an on_cluster hook may have attached its own recorder; use it
+        # for the hang-dump paths below
+        recorder = cluster.stats.recorder
 
     returns: list[Any] = [None] * n
     records: list[dict[str, Any]] = [{} for _ in range(n)]
@@ -139,9 +169,37 @@ def run_spmd(n: int,
 
     try:
         end = cluster.sim.run(until=max_sim_us)
-    except DeadlockError:
+        if strict_deadlock and not cluster.sim._heap \
+                and not cluster.sim._nowq:
+            stuck = [p for p in cluster.sim._live_processes
+                     if p.is_alive and not p.daemon]
+            if stuck:
+                # bounded run, but the queues drained before the
+                # deadline: that is a deadlock, not a deadline cut
+                raise DeadlockError(stuck)
+    except DeadlockError as exc:
         if recorder is not None:
             recorder.hang_report = build_hang_dump(cluster, "deadlock")
+        faults = cluster.partition_faults()
+        if faults:
+            # The world cannot make progress *and* the fabric is cut:
+            # that is a partition, not a protocol deadlock.  Keep the
+            # original as the cause for the full picture.
+            perr = PartitionError(
+                f"no progress possible with the fabric partitioned "
+                f"({'; '.join(faults)})")
+            perr.repro_cluster = cluster
+            perr.repro_world = world
+            raise perr from exc
+        exc.repro_cluster = cluster
+        exc.repro_world = world
+        raise
+    except BaseException as exc:
+        # rank-program exceptions (McastLost, ...) propagate out of the
+        # event loop; tag them so the caller can still reach the run's
+        # wreckage for diagnostics and teardown.
+        exc.repro_cluster = cluster
+        exc.repro_world = world
         raise
     if recorder is not None and max_sim_us is not None and any(
             not daemon for _n, daemon, _w in
@@ -158,9 +216,11 @@ def run_spmd(n: int,
         # mid-flight on purpose.
         try:
             check_quiesced(cluster)
-        except LeakError:
+        except LeakError as exc:
             if recorder is not None:
                 recorder.hang_report = build_hang_dump(cluster, "quiesce")
+            exc.repro_cluster = cluster
+            exc.repro_world = world
             raise
         register_for_teardown(cluster, world)
     return RunResult(returns=returns, records=records, sim_time_us=end,

@@ -8,7 +8,7 @@ paper's receiver-readiness semantics.  See DESIGN.md §3.
 
 from .calibration import (FAST_ETHERNET_HUB, FAST_ETHERNET_SWITCH,
                           NetParams, VIA_SWITCH, quiet)
-from .fabric import Fabric, FabricSpec, parse_topology
+from .fabric import Fabric, FabricSpec, PartitionError, parse_topology
 from .frame import BROADCAST, Frame, is_multicast, mcast_mac, wire_bytes
 from .host import Host
 from .ip import Datagram, GroupAllocator, fragment_sizes, is_group_addr
@@ -29,8 +29,8 @@ __all__ = [
     "Event", "ExcessiveCollisions", "FAST_ETHERNET_HUB",
     "FAST_ETHERNET_SWITCH", "Fabric", "FabricSpec", "Frame", "FullLink",
     "GroupAllocator", "HalfLink", "Host", "Interrupt", "NetParams",
-    "NetStats", "Nic", "Process", "RecorderHooks", "Resource",
-    "SharedMedium", "SimError",
+    "NetStats", "Nic", "PartitionError", "Process", "RecorderHooks",
+    "Resource", "SharedMedium", "SimError",
     "Simulator", "SocketClosed", "Switch", "TOPOLOGIES", "Timeout",
     "TraceEvent", "Tracer", "UdpSocket", "VIA_SWITCH", "build_cluster",
     "fragment_sizes", "is_group_addr", "is_multicast", "mcast_mac",

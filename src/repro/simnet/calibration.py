@@ -73,6 +73,16 @@ class NetParams:
     #: no performance gain in the approach.
     ack_timeout_us: float = 300.0
     max_retransmits: int = 40
+    #: hard ceiling on NACK *repair rounds* per segmented transfer
+    #: (``None`` = fall back to :attr:`max_retransmits`, the historical
+    #: bound).  The round engine's drain timeout reads any silence as
+    #: loss, so a receiver that can never be reached — a partitioned
+    #: segment, a dead host — would otherwise keep the root spinning
+    #: repair rounds for the full ``max_retransmits`` budget.  A small
+    #: explicit bound converts that livelock into a crisp typed
+    #: :class:`repro.core.rounds.McastLost` within a few rounds; the
+    #: chaos fuzzer (:mod:`repro.chaos`) runs with this set low.
+    max_repair_rounds: "int | None" = None
 
     # -- segmented multicast (mcast-seg-nack / mcast-seg-paced) ---------------
     #: user bytes per segment.  1460 + the 12-byte segment envelope fills

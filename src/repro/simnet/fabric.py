@@ -61,13 +61,27 @@ from typing import Optional, Sequence, Union
 
 from .calibration import NetParams
 from .host import Host
-from .kernel import Simulator
+from .kernel import SimError, Simulator
 from .link import HalfLink
 from .stats import NetStats
 from .switchdev import Switch
 
-__all__ = ["FabricSpec", "Fabric", "parse_topology", "build_fabric",
-           "path_trunk_hops"]
+__all__ = ["FabricSpec", "Fabric", "PartitionError", "parse_topology",
+           "build_fabric", "path_trunk_hops"]
+
+
+class PartitionError(SimError):
+    """The run could not make progress because the fabric was
+    partitioned: a trunk was down, a switch was dead, or a host's
+    links were cut while ranks still depended on each other.
+
+    Raised by :func:`repro.runtime.program.run_spmd` when a deadlock
+    is detected *and* the cluster reports active partition faults
+    (:meth:`~repro.simnet.topology.Cluster.partition_faults`) — the
+    round engine itself cannot distinguish a partition from loss, but
+    the launcher can, and a typed error beats a bare deadlock in every
+    chaos postcondition.
+    """
 
 _TREE_RE = re.compile(r"^tree:(\d+(?:x\d+)+)$")
 _TREE_LIST_RE = re.compile(r"^tree:\[(\d+(?:\s*,\s*\d+)*)\]$")
@@ -207,6 +221,13 @@ class Fabric:
         #: every switch of the tree, keyed by its path ('()' = core)
         self.nodes: dict[tuple, Switch] = {(): self.core}
         self.leaves: list[Switch] = []
+        #: both half links of every trunk, keyed by the *child* path
+        #: (``(up_toward_parent, down_toward_child)``) — the handle the
+        #: partition API toggles
+        self.trunks: dict[tuple, tuple[HalfLink, HalfLink]] = {}
+        #: per-host access links ``addr -> (up_to_leaf, down_to_host)``,
+        #: the handle the host-crash API toggles
+        self.host_links: dict[int, tuple[HalfLink, HalfLink]] = {}
         self._segments: list[list[int]] = []   # host addrs per segment
         self._segment_of: dict[int, int] = {}
         self._paths: list[tuple] = []          # tree path per segment
@@ -224,10 +245,12 @@ class Fabric:
             return self.params
         return tp[min(tier, len(tp) - 1)]
 
-    def _connect(self, parent: Switch, child: Switch, tier: int) -> None:
+    def _connect(self, parent: Switch, child: Switch, tier: int,
+                 path: tuple) -> None:
         """Wire the full-duplex trunk between ``parent`` and ``child``;
         both directions carry the tier's trunk NetParams and are tallied
-        in the trunk counters."""
+        in the trunk counters.  ``path`` (the child's tree path) keys
+        the trunk in :attr:`trunks` for the partition API."""
         tparams = self.trunk_params_for(tier)
         parent_holder: list[int] = []
         child_holder: list[int] = []
@@ -241,6 +264,7 @@ class Fabric:
                         count_as_send=False, is_trunk=True)
         child_holder.append(child.add_port(up, trunk=True))
         parent_holder.append(parent.add_port(down, trunk=True))
+        self.trunks[path] = (up, down)
 
     def add_node(self, path: tuple) -> Switch:
         """Create an interior switch at ``path`` and trunk it to its
@@ -251,7 +275,7 @@ class Fabric:
         node = Switch(self.sim, self.params, stats=self.stats,
                       name="sw" + ".".join(map(str, path)))
         self.nodes[path] = node
-        self._connect(parent, node, tier=len(path) - 1)
+        self._connect(parent, node, tier=len(path) - 1, path=path)
         return node
 
     def add_segment(self, hosts: list[Host],
@@ -281,14 +305,50 @@ class Fabric:
                             count_as_send=False)
             port_holder.append(leaf.add_port(down))
             host.nic.attach_link(up)
+            self.host_links[host.addr] = (up, down)
         self.nodes[path] = leaf
-        self._connect(parent, leaf, tier=len(path) - 1)
+        self._connect(parent, leaf, tier=len(path) - 1, path=path)
         self.leaves.append(leaf)
         self._segments.append([h.addr for h in hosts])
         for host in hosts:
             self._segment_of[host.addr] = seg_id
         self._paths.append(path)
         return leaf
+
+    # -- chaos seams -----------------------------------------------------
+    def partition_trunk(self, path: tuple):
+        """Cut both directions of the trunk above the switch at
+        ``path`` — the subtree below it can no longer exchange frames
+        with the rest of the fabric.  Frames in flight still serialize
+        (the transmitter cannot tell) but never arrive.  Returns the
+        matching undo callable (== ``lambda: heal_trunk(path)``), so
+        scenario code stacks it for teardown."""
+        up, down = self.trunks[path]
+        up.up = down.up = False
+        return lambda: self.heal_trunk(path)
+
+    def heal_trunk(self, path: tuple) -> None:
+        """Restore a trunk cut by :meth:`partition_trunk`."""
+        up, down = self.trunks[path]
+        up.up = down.up = True
+
+    def partition_faults(self) -> list[str]:
+        """Human-readable descriptions of every active fault — downed
+        trunks, dead switches — for :class:`PartitionError` messages
+        and the launcher's deadlock classification."""
+        faults = []
+        for path in sorted(self.trunks):
+            up, down = self.trunks[path]
+            if not (up.up and down.up):
+                faults.append(f"trunk above sw{path} down")
+        for path in sorted(self.nodes):
+            if not self.nodes[path].alive:
+                faults.append(f"switch {self.nodes[path].name} dead")
+        for addr in sorted(self.host_links):
+            up, down = self.host_links[addr]
+            if not (up.up and down.up):
+                faults.append(f"host {addr} links down")
+        return faults
 
     # -- discovery -------------------------------------------------------
     @property

@@ -41,6 +41,16 @@ class Host:
         #: reproducible run
         self.loss_rng = random.Random(
             ((seed if seed is not None else addr) << 16) ^ 0x105_5EED)
+        #: optional stateful datagram-fate hook (the chaos-injection
+        #: generalization of ``UdpSocket.drop_filter``): every datagram
+        #: delivered to *any* socket on this host is first offered to
+        #: ``frame_fate(dgram)``, which returns ``None``/``"deliver"``
+        #: to pass it through, ``"drop"`` to lose it
+        #: (``NetStats.drops_chaos``) or ``"dup"`` to deliver it twice
+        #: (``NetStats.dups_chaos``).  Host-level (not per-socket) so a
+        #: scenario survives sockets being opened and closed under it;
+        #: stateful hooks (burst loss) keep their state in the closure.
+        self.frame_fate = None
         self.cpu = Resource(sim, name=f"{self.name}.cpu")
         self.nic = Nic(sim, params, mac=addr, stats=self.stats,
                        name=f"{self.name}.nic")

@@ -58,7 +58,9 @@ class DeadlockError(SimError):
 
     def __init__(self, processes: list["Process"]):
         self.processes = processes
-        names = ", ".join(p.name for p in processes)
+        # sorted: the live set iterates in id order, which is not
+        # deterministic — the message is part of the replay contract
+        names = ", ".join(sorted(p.name for p in processes))
         super().__init__(
             f"simulation deadlock: {len(processes)} process(es) still "
             f"suspended with no pending events: {names}"

@@ -11,14 +11,22 @@ the receiving device only sees a frame once the last bit is in).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import Callable, Optional
 
 from .calibration import NetParams
-from .frame import Frame
+from .frame import Frame, release_frame, retain_frame
 from .kernel import Event, Simulator
 from .stats import NetStats
 
 __all__ = ["HalfLink", "FullLink"]
+
+#: return values a :attr:`HalfLink.fault` hook may produce per frame:
+#: ``None``/``"deliver"`` passes the frame through, ``"drop"`` loses it
+#: on the wire, ``"dup"`` delivers two copies, ``("delay", us)`` holds
+#: the frame back ``us`` microseconds (later traffic overtakes it —
+#: reordering).  See :mod:`repro.chaos.scenarios` for the stateful
+#: hooks built on this seam.
+LinkFate = "Optional[str | tuple]"
 
 
 class HalfLink:
@@ -40,6 +48,20 @@ class HalfLink:
         #: ``frames_trunk`` — the contended resource of a tiered fabric
         #: (see :mod:`repro.simnet.fabric`).
         self.is_trunk = is_trunk
+        #: cable state: a downed link (trunk partition, host crash)
+        #: still serializes — the transmitter cannot tell — but nothing
+        #: arrives at the far end.  Toggled by the partition APIs on
+        #: :class:`~repro.simnet.fabric.Fabric` /
+        #: :class:`~repro.simnet.topology.Cluster`, never directly by
+        #: tests.
+        self.up = True
+        #: optional stateful frame-fate hook consulted on last-bit
+        #: arrival: ``fault(frame, link)`` returns a :data:`LinkFate`.
+        #: This is the link-level generalization of
+        #: ``UdpSocket.drop_filter`` — it sees every frame kind (data,
+        #: scouts, IGMP), so it can model corruption-like loss,
+        #: duplication and reordering below the IP stack.
+        self.fault: Optional[Callable] = None
         self._queue: deque[tuple[Frame, Event]] = deque()
         self._busy = False
 
@@ -84,7 +106,31 @@ class HalfLink:
         self._pump()
 
     def _arrive(self, frame: Frame) -> None:
-        self.deliver(frame)
+        if not self.up:
+            # Cable cut: the last bit never arrives.  The ingress path
+            # handed us one reference for this copy; give it back.
+            self.stats.drops_chaos += 1
+            release_frame(frame)
+            return
+        fate = self.fault(frame, self) if self.fault is not None else None
+        if fate is None or fate == "deliver":
+            self.deliver(frame)
+        elif fate == "drop":
+            self.stats.drops_chaos += 1
+            release_frame(frame)
+        elif fate == "dup":
+            # Two copies reach the far end: one extra reference for the
+            # extra delivery.
+            self.stats.dups_chaos += 1
+            retain_frame(frame, 1)
+            self.deliver(frame)
+            self.deliver(frame)
+        elif isinstance(fate, tuple) and fate[0] == "delay":
+            self.stats.delays_chaos += 1
+            self.sim.schedule_call(float(fate[1]), self.deliver, frame)
+        else:
+            raise ValueError(f"link fault hook on {self.name!r} returned "
+                             f"unknown fate {fate!r}")
 
 
 class FullLink:

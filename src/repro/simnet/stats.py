@@ -32,6 +32,12 @@ class NetStats:
     drops_not_posted: int = 0     #: datagram dropped: no posted receive
     drops_induced: int = 0        #: datagram dropped by a fault-injection filter
     drops_lossy: int = 0          #: multicast data dropped by NetParams.loss
+    #: chaos-injection counters (:mod:`repro.chaos`): frames or datagrams
+    #: dropped by a frame-fate hook, a downed link or a dead switch;
+    #: duplicate copies injected; frames held back for reordering
+    drops_chaos: int = 0
+    dups_chaos: int = 0
+    delays_chaos: int = 0
     datagrams_sent: int = 0
     datagrams_delivered: int = 0
     retransmissions: int = 0      #: ack-based reliable-multicast resends
@@ -78,6 +84,9 @@ class NetStats:
             "drops_not_posted": self.drops_not_posted,
             "drops_induced": self.drops_induced,
             "drops_lossy": self.drops_lossy,
+            "drops_chaos": self.drops_chaos,
+            "dups_chaos": self.dups_chaos,
+            "delays_chaos": self.delays_chaos,
             "datagrams_sent": self.datagrams_sent,
             "datagrams_delivered": self.datagrams_delivered,
             "retransmissions": self.retransmissions,

@@ -73,6 +73,10 @@ class Switch:
         self._mcast_table: dict[int, dict[int, int]] = {}
         self.frames_switched = 0
         self.frames_flooded = 0
+        #: chaos seam: a powered-off switch blackholes every ingress
+        #: frame (tables intact — power_on restores forwarding exactly
+        #: as a rebooted snooping switch that kept its config would)
+        self.alive = True
 
     # -- wiring -----------------------------------------------------------
     def add_port(self, out: HalfLink, trunk: bool = False) -> int:
@@ -90,9 +94,26 @@ class Switch:
     def trunk_ports(self) -> list[int]:
         return [p.index for p in self._ports if p.trunk]
 
+    # -- chaos seam -----------------------------------------------------
+    def power_off(self):
+        """Kill the switch mid-traffic (chaos injection): every frame
+        arriving on any port is dropped until :meth:`power_on`.
+        Returns the matching undo callable, so scenario code can stack
+        it for teardown (`undo = switch.power_off(); ...; undo()`)."""
+        self.alive = False
+        return self.power_on
+
+    def power_on(self) -> None:
+        """Restore a powered-off switch (see :meth:`power_off`)."""
+        self.alive = True
+
     # -- data path ------------------------------------------------------
     def receive(self, port_idx: int, frame: Frame) -> None:
         """Ingress entry point, called by the host→switch half link."""
+        if not self.alive:
+            self.stats.drops_chaos += 1
+            release_frame(frame)
+            return
         self._mac_table[frame.src] = port_idx
         if frame.kind == "igmp":
             self._snoop(port_idx, frame)

@@ -60,6 +60,10 @@ class Cluster:
     medium: Optional[SharedMedium] = None
     switch: Optional[Switch] = None
     fabric: Optional[Fabric] = None
+    #: per-host access links ``addr -> (up, down)`` on switched
+    #: topologies (the host-crash chaos seam; empty on the hub, whose
+    #: shared medium has no per-host cable to cut)
+    host_links: dict = field(default_factory=dict)
 
     @property
     def n(self) -> int:
@@ -67,6 +71,46 @@ class Cluster:
 
     def host(self, addr: int) -> Host:
         return self.hosts[addr]
+
+    # -- chaos seams -----------------------------------------------------
+    def crash_host(self, addr: int):
+        """Cut both directions of a host's access link (fail-stop crash
+        as the network sees it: the host falls silent and nothing
+        reaches it).  Returns the matching undo callable
+        (== ``lambda: restore_host(addr)``)."""
+        try:
+            up, down = self.host_links[addr]
+        except KeyError:
+            raise ValueError(
+                f"host {addr} has no access link to cut (hub topology "
+                f"or unknown address)") from None
+        up.up = down.up = False
+        return lambda: self.restore_host(addr)
+
+    def restore_host(self, addr: int) -> None:
+        """Reconnect a host cut by :meth:`crash_host`."""
+        up, down = self.host_links[addr]
+        up.up = down.up = True
+
+    def partition_faults(self) -> list[str]:
+        """Descriptions of every active partition-class fault (downed
+        trunks or host links, dead switches); empty when the fabric is
+        whole.  :func:`~repro.runtime.program.run_spmd` consults this
+        to turn a deadlock under partition into a typed
+        :class:`~repro.simnet.fabric.PartitionError`."""
+        faults = []
+        if self.fabric is not None:
+            faults.extend(self.fabric.partition_faults())
+        if self.switch is not None and not self.switch.alive:
+            faults.append(f"switch {self.switch.name} dead")
+        if self.fabric is None:
+            # flat switch build: the fabric (when present) already
+            # reported its own host links
+            for addr in sorted(self.host_links):
+                up, down = self.host_links[addr]
+                if not (up.up and down.up):
+                    faults.append(f"host {addr} links down")
+        return faults
 
     # -- topology discovery (uniform across flat and tiered builds) ------
     @property
@@ -155,6 +199,7 @@ def build_cluster(n: int, topology: str = "switch",
     if spec is not None:
         cluster.fabric = build_fabric(sim, params, hosts, spec, stats,
                                       trunk_params=trunk_params)
+        cluster.host_links = cluster.fabric.host_links
     elif topology == "hub":
         medium = SharedMedium(sim, params,
                               rng=random.Random(master.randrange(2**63)),
@@ -175,6 +220,7 @@ def build_cluster(n: int, topology: str = "switch",
                             name=f"sw->{host.name}", count_as_send=False)
             port_holder.append(switch.add_port(down))
             host.nic.attach_link(up)
+            cluster.host_links[host.addr] = (up, down)
         cluster.switch = switch
 
     return cluster

@@ -115,6 +115,17 @@ class RecorderHooks:
     def phase_end(self, now: float, token) -> None:
         """The phase that returned ``token`` finished."""
 
+    # ------------------------------------------- chaos hooks (repro.chaos)
+    def chaos_fault_begin(self, now: float, name: str):
+        """An injected fault window opened (a trunk cut, a switch
+        killed, a drop hook armed); returns a token for the matching
+        ``chaos_fault_end``, so fault windows show up as spans in the
+        trace and the hang dump can tell injected faults from bugs."""
+        return None
+
+    def chaos_fault_end(self, now: float, token) -> None:
+        """The fault window that returned ``token`` was healed."""
+
 
 @dataclass(frozen=True)
 class TraceEvent:

@@ -216,6 +216,25 @@ class UdpSocket:
             self.rx_dropped += 1
             self.stats.drops_induced += 1
             return
+        if self.host.frame_fate is not None:
+            # The stateful chaos hook (see Host.frame_fate): one
+            # decision per datagram, before the loss model, so chaos
+            # runs compose with (and are distinguishable from)
+            # NetParams.loss.
+            fate = self.host.frame_fate(dgram)
+            if fate == "drop":
+                self.rx_dropped += 1
+                self.stats.drops_chaos += 1
+                return
+            if fate == "dup":
+                self.stats.dups_chaos += 1
+                self._accept(dgram)
+                self._accept(dgram)
+                return
+            if fate not in (None, "deliver"):
+                raise ValueError(f"frame_fate hook on host "
+                                 f"{self.host.addr} returned unknown "
+                                 f"fate {fate!r}")
         if (dgram.kind == "mcast-seg" and self.params.loss > 0.0
                 and self.host.loss_rng.random() < self.params.loss):
             # NetParams.loss wired for real: each receiver drops each
@@ -228,6 +247,11 @@ class UdpSocket:
             self.rx_dropped += 1
             self.stats.drops_lossy += 1
             return
+        self._accept(dgram)
+
+    def _accept(self, dgram: Datagram) -> None:
+        """The delivery tail every surviving datagram copy goes through:
+        fill a posted descriptor, or queue/drop per the socket mode."""
         if self._posted:
             self._posted.popleft().succeed(dgram)
             return

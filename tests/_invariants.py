@@ -1,0 +1,22 @@
+"""Reusable post-run invariants for tier-1 tests.
+
+:func:`assert_quiesced` is the one-call version of the sanitizer's
+two-phase contract (:mod:`repro.runtime.sanitize`): the completed run
+must have consumed or cancelled every posted receive and kept the
+three membership ledgers consistent, and a full teardown must leave
+*nothing* — no bound sockets, no residual memberships on host, NIC or
+switch, no undrained events.  Tests call it explicitly on the runs
+whose cleanliness *is* the property under test; the autouse conftest
+fixture remains the safety net for everything else (teardown is
+idempotent, so both may run).
+"""
+
+from repro.runtime.sanitize import check_quiesced, full_teardown
+
+
+def assert_quiesced(cluster, world) -> None:
+    """Assert the completed run quiesced cleanly, then tear it down to
+    nothing.  Raises :class:`repro.runtime.sanitize.LeakError` (an
+    AssertionError) with every finding listed otherwise."""
+    check_quiesced(cluster)
+    full_teardown(cluster, world)

@@ -3,6 +3,7 @@ accounting, and IGMP snooping across tiers."""
 
 import pytest
 
+from _invariants import assert_quiesced
 from repro import run_spmd
 from repro.simnet import build_cluster, parse_topology, quiet
 from repro.simnet.calibration import FAST_ETHERNET_SWITCH
@@ -184,11 +185,14 @@ def test_multicast_crosses_each_trunk_once_per_segment():
         for _ in range(2):
             yield from main(env)
 
-    two = run_spmd(8, main2, topology="tree:2x4", params=QUIET,
-                   collectives={"bcast": "mcast-binary"}).stats
+    result = run_spmd(8, main2, topology="tree:2x4", params=QUIET,
+                      collectives={"bcast": "mcast-binary"})
+    two = result.stats
     delta = (two["trunk_frames_by_kind"]["mcast-data"]
              - one["trunk_frames_by_kind"]["mcast-data"])
     assert delta == 2  # up from leaf0, down to leaf1 — not 4 (members)
+    # cross-trunk multicast must also clean up across every ledger tier
+    assert_quiesced(result.cluster, result.world)
 
 
 def test_trunk_params_govern_trunk_serialization():

@@ -9,6 +9,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
+from _invariants import assert_quiesced
 from repro import run_spmd
 from repro.mpi.collective.hier import (allgather_phases, bcast_phases,
                                        build_hier_tree, canonical_order,
@@ -94,6 +95,9 @@ def test_deep_bcast_from_any_root(root):
                       collectives={"bcast": "hier-mcast"})
     assert result.returns == [True] * 8
     result.verify_safe_schedules()
+    # hier channels allocate per-tier groups and slabs: prove every
+    # ledger (sockets, memberships, snooped switches) drains to nothing
+    assert_quiesced(result.cluster, result.world)
 
 
 @pytest.mark.parametrize("root", [0, 6])
@@ -149,6 +153,7 @@ def test_deep_allreduce_and_barrier():
     for _e, released, ok in result.returns:
         assert released >= last_entry
         assert ok
+    assert_quiesced(result.cluster, result.world)
 
 
 def test_deep_hier_state_builds_recursive_channels():

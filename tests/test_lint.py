@@ -85,6 +85,36 @@ def test_leak01_clean_with_paired_method_in_class(tmp_path):
     assert "LEAK01" not in codes(v)
 
 
+def test_leak01_triggers_on_dropped_fault_injection(tmp_path):
+    # a partitioned trunk is an acquired resource: its heal callable
+    # dropped on the floor means teardown's IGMP leaves cannot cross
+    v = lint_tree(tmp_path, {"repro/chaos/x.py": """\
+        def cut(fabric, path):
+            fabric.partition_trunk(path)
+            return 1
+    """})
+    assert "LEAK01" in codes(v)
+
+
+def test_leak01_clean_when_fault_heal_is_kept_or_released(tmp_path):
+    v = lint_tree(tmp_path, {"repro/chaos/x.py": """\
+        def cut_and_heal(cluster, fabric, path, addr):
+            undo = fabric.partition_trunk(path)
+            try:
+                run(cluster)
+            finally:
+                undo()
+                fabric.heal_trunk(path)
+
+        def cut_for_caller(switch):
+            return switch.power_off()
+
+        def crash(cluster, addr, undos):
+            undos.append(cluster.crash_host(addr))
+    """})
+    assert "LEAK01" not in codes(v)
+
+
 # --------------------------------------------------------------- OBS01
 def test_obs01_triggers_on_unpaired_span_begin(tmp_path):
     v = lint_tree(tmp_path, {"repro/core/x.py": """\
@@ -123,6 +153,36 @@ def test_obs01_clean_with_paired_method_in_class(tmp_path):
                 self.tok = rec.round_begin(now, 1, "serve", 0, 0, 4)
             def stop(self, rec, now):
                 rec.round_end(now, self.tok)
+    """})
+    assert "OBS01" not in codes(v)
+
+
+def test_obs01_triggers_on_unpaired_chaos_fault_begin(tmp_path):
+    v = lint_tree(tmp_path, {"repro/chaos/x.py": """\
+        def arm(rec, now):
+            token = rec.chaos_fault_begin(now, "cut")
+            return token
+    """})
+    assert "OBS01" in codes(v)
+
+
+def test_obs01_clean_with_chaos_end_in_nested_closure(tmp_path):
+    # the timed_fault idiom: begin fires inside the arm closure, end
+    # inside the heal closure — both within one enclosing function
+    v = lint_tree(tmp_path, {"repro/chaos/x.py": """\
+        def timed(cluster, name, t0):
+            state = {}
+
+            def arm():
+                rec = cluster.stats.recorder
+                state["tok"] = rec.chaos_fault_begin(cluster.sim.now, name)
+
+            def heal():
+                rec = cluster.stats.recorder
+                rec.chaos_fault_end(cluster.sim.now, state["tok"])
+
+            cluster.sim.schedule_call(t0, arm)
+            return heal
     """})
     assert "OBS01" not in codes(v)
 
